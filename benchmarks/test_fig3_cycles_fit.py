@@ -1,0 +1,62 @@
+"""Figure 3: Cycles makespan vs number of tasks, per synthetic hardware.
+
+Figure 3 plots, for each of the four synthetic hardware settings, the actual
+makespans of the 80 Cycles runs (diamond markers) and the model's linear fit
+(circle markers).  This benchmark regenerates both: per-hardware least-squares
+fits on the generated dataset, compared against the workload's ground-truth
+lines, evaluated at the paper's two workflow sizes (100 and 500 tasks).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_report
+from repro.baselines import FullFitOracle
+from repro.evaluation import format_metric_table, rmse
+
+
+def _fit(bundle):
+    oracle = FullFitOracle(bundle.frame, bundle.catalog, ["num_tasks"])
+    rows = []
+    for hw in bundle.catalog:
+        model = oracle.model_for(hw)
+        truth = bundle.workload.true_coefficients(hw)
+        rows.append(
+            {
+                "hardware": hw.name,
+                "fitted_w": float(model.coefficients[0]),
+                "true_w": truth["w_num_tasks"],
+                "fitted_b": model.intercept,
+                "true_b": truth["b"],
+                "pred_100": model.predict([100.0]),
+                "pred_500": model.predict([500.0]),
+            }
+        )
+    return oracle, rows
+
+
+def test_fig3_cycles_linear_fitting(benchmark, cycles_bundle):
+    oracle, rows = benchmark.pedantic(_fit, args=(cycles_bundle,), rounds=1, iterations=1)
+
+    # The fitted slopes recover the ground truth within a few percent.
+    for row in rows:
+        assert abs(row["fitted_w"] - row["true_w"]) < 0.1 * row["true_w"]
+        assert abs(row["fitted_b"] - row["true_b"]) < 0.3 * row["true_b"] + 50.0
+
+    # The hardware settings present a meaningful trade-off: predicted 500-task
+    # makespans are well separated and ordered by hardware capacity, with the
+    # smallest configuration around the ~3000 s scale shown in Figure 3.
+    preds_500 = [row["pred_500"] for row in rows]
+    assert preds_500 == sorted(preds_500, reverse=True)
+    assert preds_500[0] > 2.0 * preds_500[-1]
+    assert 1500 < preds_500[0] < 4500
+
+    # And the fit is tight: RMSE on the dataset is a small fraction of the scale.
+    scores = oracle.score(cycles_bundle.frame)
+    assert scores["r2"] > 0.95
+
+    body = format_metric_table(
+        rows,
+        columns=["hardware", "fitted_w", "true_w", "fitted_b", "true_b", "pred_100", "pred_500"],
+    )
+    body += f"\n\nfull-fit RMSE = {scores['rmse']:.1f}s, R² = {scores['r2']:.3f} over {len(cycles_bundle.frame)} runs"
+    print_report("Figure 3 — Cycles linear fitting on four synthetic hardware settings", body)

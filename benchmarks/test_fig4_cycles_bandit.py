@@ -1,0 +1,40 @@
+"""Figure 4: RMSE and accuracy of BanditWare on Cycles over 100 rounds.
+
+The paper runs Algorithm 1 on the Cycles data (synthetic hardware, tolerance
+of 20 seconds) with 10 simulations per round and reports that the bandit
+reaches the error of the full 1316-point fit with only tens of online samples
+and that its best-hardware accuracy climbs far above random guessing.
+"""
+
+from benchmarks.conftest import print_report, scaled
+from repro.evaluation import build_experiment, format_series, run_experiment
+
+
+def test_fig4_cycles_rmse_and_accuracy_over_time(benchmark, cycles_bundle):
+    definition = build_experiment(
+        "cycles_synthetic",
+        n_rounds=scaled(100, 20),
+        n_simulations=scaled(10, 3),
+        seed=0,
+    )
+    outcome = benchmark.pedantic(run_experiment, args=(definition,), rounds=1, iterations=1)
+    result = outcome.result
+
+    final_round = result.n_rounds
+    # Figure 4a: the RMSE converges toward the full-fit reference line.
+    early_rmse, _ = result.rmse_at(min(5, final_round))
+    late_rmse, _ = result.rmse_at(final_round)
+    assert late_rmse < early_rmse
+    assert late_rmse < 2.0 * result.reference_rmse
+
+    # Figure 4b: accuracy far exceeds random guessing (0.25 for four arms)
+    # and approaches the full-dataset accuracy.
+    late_accuracy, _ = result.accuracy_at(final_round)
+    assert late_accuracy > 2.0 * result.random_accuracy
+    assert late_accuracy > 0.8 * result.reference_accuracy
+
+    print_report(
+        "Figure 4 — BanditWare on Cycles: RMSE (4a) and accuracy (4b) over rounds",
+        format_series(result, every=10)
+        + f"\n\nrmse gap to full fit at final round: {result.rmse_gap_to_reference(final_round) * 100:.1f}%",
+    )

@@ -1,0 +1,80 @@
+"""Future-work extension: GPU-aware recommendation for LLM inference.
+
+Section 5 of the paper names two extensions this repository implements and
+benchmarks here: additional applications (large language models) and
+incorporating GPU information into the hardware recommendation.  The
+benchmark streams LLM-inference jobs through BanditWare over a mixed
+CPU/GPU catalog and checks that
+
+* the recommender routes heavy jobs to GPU configurations,
+* it does not waste 4-GPU nodes on tiny requests once learned, and
+* its total runtime is far below both random selection and a CPU-only policy.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_report, scaled
+from repro.core import BanditWare
+from repro.evaluation import format_metric_table
+from repro.workloads import LLMInferenceWorkload, gpu_catalog
+
+
+def _run(n_rounds: int, seed: int = 0):
+    workload = LLMInferenceWorkload()
+    catalog = gpu_catalog()
+    rng = np.random.default_rng(seed)
+    bandit = BanditWare(catalog=catalog, feature_names=workload.feature_names, seed=seed)
+    random_total = 0.0
+    bandit_total = 0.0
+    cpu_total = 0.0
+    cpu_arm = catalog["C8"]
+    usage = {name: 0 for name in catalog.names}
+    for _ in range(n_rounds):
+        features = workload.sample_features(rng)
+        rec = bandit.recommend(features)
+        runtime = workload.observed_runtime(features, rec.hardware, rng)
+        bandit.observe(features, rec.hardware, runtime)
+        bandit_total += runtime
+        usage[rec.hardware.name] += 1
+        random_arm = catalog[int(rng.integers(len(catalog)))]
+        random_total += workload.expected_runtime(features, random_arm)
+        cpu_total += workload.expected_runtime(features, cpu_arm)
+    heavy = {"prompt_tokens": 4096, "output_tokens": 1024, "batch_size": 48}
+    tiny = {"prompt_tokens": 64, "output_tokens": 16, "batch_size": 1}
+    return {
+        "bandit": bandit,
+        "usage": usage,
+        "bandit_total": bandit_total,
+        "random_total": random_total,
+        "cpu_total": cpu_total,
+        "heavy_choice": bandit.best_hardware(heavy),
+        "tiny_choice": bandit.best_hardware(tiny),
+        "n_rounds": n_rounds,
+    }
+
+
+def test_future_work_gpu_aware_llm_recommendation(benchmark):
+    n_rounds = scaled(250, 60)
+    outcome = benchmark.pedantic(_run, args=(n_rounds,), rounds=1, iterations=1)
+
+    # Heavy inference jobs go to GPU nodes; tiny ones avoid the 4-GPU node.
+    assert outcome["heavy_choice"].gpus >= 1
+    assert outcome["tiny_choice"].name != "G4"
+    # Online learning beats both random placement and a CPU-only policy.
+    assert outcome["bandit_total"] < outcome["random_total"]
+    assert outcome["bandit_total"] < 0.5 * outcome["cpu_total"]
+
+    rows = [
+        {"hardware": name, "times_chosen": count}
+        for name, count in outcome["usage"].items()
+    ]
+    body = format_metric_table(rows)
+    body += (
+        f"\n\ntotal runtime over {outcome['n_rounds']} jobs:"
+        f"\n  banditware : {outcome['bandit_total']:,.0f}s"
+        f"\n  random     : {outcome['random_total']:,.0f}s"
+        f"\n  cpu-only   : {outcome['cpu_total']:,.0f}s"
+        f"\nheavy-job recommendation: {outcome['heavy_choice'].name}"
+        f"\ntiny-job recommendation:  {outcome['tiny_choice'].name}"
+    )
+    print_report("Future work — GPU-aware recommendation for LLM inference", body)

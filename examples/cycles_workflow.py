@@ -1,0 +1,80 @@
+"""Experiment 1 walkthrough: the Cycles agroecosystem workflow.
+
+Reproduces the setting behind Figures 3 and 4 of the paper: 80 Cycles runs of
+two sizes (100 and 500 tasks) on four synthetic hardware settings with a clear
+performance trade-off.  The script
+
+* generates the dataset,
+* fits the full-data per-hardware linear models (the diamond markers of
+  Figure 3),
+* runs the BanditWare online simulation with a 20 s tolerance, and
+* prints the per-round RMSE/accuracy series (the data behind Figure 4).
+
+Run with::
+
+    python examples/cycles_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FullFitOracle
+from repro.data import build_cycles_dataset
+from repro.evaluation import (
+    SimulationConfig,
+    OnlineSimulation,
+    format_series,
+)
+
+
+def main() -> None:
+    bundle = build_cycles_dataset()
+    print(f"dataset: {bundle.n_runs} Cycles runs on {len(bundle.catalog)} synthetic hardware settings")
+    print(f"runs per hardware: {bundle.per_hardware_counts()}\n")
+
+    # ------------------------------------------------------------------ #
+    # Figure 3: the per-hardware linear fits makespan = w * num_tasks + b.
+    # ------------------------------------------------------------------ #
+    oracle = FullFitOracle(bundle.frame, bundle.catalog, ["num_tasks"])
+    print("per-hardware linear fits (Figure 3) vs the generator's ground truth:")
+    print(f"{'hardware':>8} {'fitted w':>10} {'true w':>10} {'fitted b':>10} {'true b':>10}")
+    for hw in bundle.catalog:
+        fitted = oracle.model_for(hw).coefficient_dict(["num_tasks"])
+        truth = bundle.workload.true_coefficients(hw)
+        print(
+            f"{hw.name:>8} {fitted['w_num_tasks']:>10.2f} {truth['w_num_tasks']:>10.2f} "
+            f"{fitted['b']:>10.1f} {truth['b']:>10.1f}"
+        )
+    print(
+        "\npredicted makespan for a 500-task workflow per hardware: "
+        + ", ".join(
+            f"{hw.name}={oracle.model_for(hw).predict([500.0]):.0f}s" for hw in bundle.catalog
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Figure 4: RMSE and accuracy of the online bandit over 100 rounds,
+    # 10 simulations, tolerance_seconds = 20.
+    # ------------------------------------------------------------------ #
+    config = SimulationConfig(
+        n_rounds=100, n_simulations=10, tolerance_seconds=20.0, seed=0
+    )
+    simulation = OnlineSimulation(
+        workload=bundle.workload,
+        catalog=bundle.catalog,
+        evaluation_frame=bundle.frame,
+        config=config,
+        feature_names=["num_tasks"],
+    )
+    result = simulation.run()
+    print("\n" + format_series(result, every=10, title="BanditWare on Cycles (Figure 4)"))
+    for round_index in (20, 40):
+        mean_rmse, _ = result.rmse_at(round_index)
+        print(
+            f"after {round_index} rounds: bandit RMSE {mean_rmse:.1f}s vs full-dataset fit "
+            f"{result.reference_rmse:.1f}s ({result.rmse_gap_to_reference(round_index) * 100:.1f}% gap), "
+            f"accuracy {result.accuracy_at(round_index)[0]:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

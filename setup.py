@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that
+``pip install -e .`` also works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""A context-free baseline: always recommend the historically-best configuration."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.hardware import HardwareCatalog, HardwareConfig
+
+__all__ = ["BestFixedHardwareRecommender"]
+
+
+class BestFixedHardwareRecommender:
+    """Recommend the single configuration with the lowest historical mean runtime.
+
+    This is the strongest *context-free* strategy: if one configuration
+    dominated every past run it cannot be beaten, but whenever the best
+    hardware depends on the workflow's features (the regime BanditWare
+    targets) it leaves runtime on the table.  The ablation benchmarks use it
+    to quantify how much the contextual part of the contextual bandit buys.
+    """
+
+    def __init__(self, catalog: HardwareCatalog):
+        self.catalog = catalog
+        self._choice: Optional[HardwareConfig] = None
+        self._mean_runtimes: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._choice is not None
+
+    @property
+    def mean_runtimes(self) -> Dict[str, float]:
+        """Historical mean runtime per configuration (after :meth:`fit`)."""
+        return dict(self._mean_runtimes)
+
+    def fit(
+        self,
+        frame: DataFrame,
+        hardware_column: str = "hardware",
+        runtime_column: str = "runtime_seconds",
+    ) -> "BestFixedHardwareRecommender":
+        """Compute per-hardware mean runtimes from a run-history table."""
+        if hardware_column not in frame or runtime_column not in frame:
+            raise KeyError(
+                f"frame must contain {hardware_column!r} and {runtime_column!r} columns"
+            )
+        means: Dict[str, float] = {}
+        for key, group in frame.groupby(hardware_column):
+            name = str(key[0])
+            if name in self.catalog:
+                means[name] = float(np.mean(group[runtime_column].to_numpy(float)))
+        if not means:
+            raise ValueError("no rows in the frame match the catalog's hardware names")
+        self._mean_runtimes = means
+        best = min(means, key=lambda name: (means[name], self.catalog.index_of(name)))
+        self._choice = self.catalog[best]
+        return self
+
+    def recommend(self, features: Dict[str, float]) -> HardwareConfig:
+        """Return the fixed best configuration (features are ignored)."""
+        if self._choice is None:
+            raise RuntimeError("call fit(frame) before recommending")
+        return self._choice
+
+    def observe(self, features: Dict[str, float], hardware, runtime_seconds: float) -> None:
+        """No-op: the fixed recommender never adapts online."""

@@ -1,0 +1,35 @@
+"""The random-guess recommender reference."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hardware import HardwareCatalog, HardwareConfig
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["RandomRecommender"]
+
+
+class RandomRecommender:
+    """Recommend a hardware configuration uniformly at random.
+
+    The paper repeatedly benchmarks accuracy against the random-guess rate
+    (1/|H|); instantiating that reference as a recommender lets the evaluation
+    harness score it with exactly the same code paths as BanditWare.
+    """
+
+    def __init__(self, catalog: HardwareCatalog, seed: SeedLike = None):
+        self.catalog = catalog
+        self._rng = as_generator(seed)
+
+    def recommend(self, features: Dict[str, float]) -> HardwareConfig:
+        """Return a uniformly random configuration (features are ignored)."""
+        return self.catalog[int(self._rng.integers(len(self.catalog)))]
+
+    def observe(self, features: Dict[str, float], hardware, runtime_seconds: float) -> None:
+        """No-op: the random recommender never learns."""
+
+    @property
+    def expected_accuracy(self) -> float:
+        """The theoretical accuracy of random guessing: ``1 / |H|``."""
+        return 1.0 / len(self.catalog)

@@ -1,0 +1,228 @@
+"""Command-line interface for the BanditWare reproduction.
+
+The CLI wraps the library's main entry points so a user can regenerate the
+paper's artefacts (and their own variations) without writing Python:
+
+* ``repro list-experiments`` -- names and descriptions of the registered
+  experiments (one per bandit figure of the paper).
+* ``repro run-experiment <name>`` -- run one experiment and print the
+  per-round RMSE/accuracy series plus the summary.
+* ``repro generate-dataset <cycles|bp3d|matmul> --output DIR`` -- materialise
+  one of the synthetic datasets to a directory of CSV/JSON files.
+* ``repro show-catalog <ndp|synthetic|matmul|gpu>`` -- print a hardware
+  catalog with its resource-efficiency ordering.
+* ``repro recommend --dataset DIR --features k=v ...`` -- warm-start a
+  recommender from a saved dataset directory and print the recommendation for
+  one workflow.
+
+Invoke either as ``python -m repro ...`` or via the installed ``repro``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import BanditWare, ToleranceConfig
+from repro.data import (
+    build_bp3d_dataset,
+    build_cycles_dataset,
+    build_matmul_dataset,
+    load_run_history,
+    save_dataset,
+)
+from repro.evaluation import (
+    EXPERIMENT_NAMES,
+    build_experiment,
+    format_series,
+    format_summary,
+    run_experiment,
+)
+from repro.hardware import (
+    ResourceCostModel,
+    matmul_catalog,
+    ndp_catalog,
+    synthetic_catalog,
+)
+from repro.workloads import gpu_catalog
+
+__all__ = ["main", "build_parser"]
+
+_DATASET_BUILDERS = {
+    "cycles": build_cycles_dataset,
+    "bp3d": build_bp3d_dataset,
+    "matmul": build_matmul_dataset,
+}
+
+_CATALOGS = {
+    "ndp": ndp_catalog,
+    "synthetic": lambda: synthetic_catalog(4),
+    "matmul": matmul_catalog,
+    "gpu": gpu_catalog,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BanditWare reproduction: contextual-bandit hardware recommendation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-experiments", help="list the registered paper experiments")
+
+    run = subparsers.add_parser("run-experiment", help="run one experiment and print its series")
+    run.add_argument("name", choices=sorted(EXPERIMENT_NAMES))
+    run.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
+    run.add_argument("--simulations", type=int, default=None, help="override the number of replications")
+    run.add_argument("--subsample", type=int, default=None, help="evaluate against a row subsample")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--every", type=int, default=5, help="print every N-th round")
+
+    gen = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to a directory")
+    gen.add_argument("dataset", choices=sorted(_DATASET_BUILDERS))
+    gen.add_argument("--output", required=True, help="output directory")
+    gen.add_argument("--runs", type=int, default=None, help="override the number of runs")
+    gen.add_argument("--seed", type=int, default=None, help="override the dataset seed")
+
+    cat = subparsers.add_parser("show-catalog", help="print a hardware catalog")
+    cat.add_argument("catalog", choices=sorted(_CATALOGS))
+
+    rec = subparsers.add_parser(
+        "recommend", help="warm-start from a saved dataset directory and recommend for one workflow"
+    )
+    rec.add_argument("--dataset", required=True, help="directory written by generate-dataset")
+    rec.add_argument(
+        "--features",
+        nargs="+",
+        required=True,
+        metavar="NAME=VALUE",
+        help="workflow features, e.g. size=8000",
+    )
+    rec.add_argument("--tolerance-ratio", type=float, default=0.0)
+    rec.add_argument("--tolerance-seconds", type=float, default=0.0)
+    rec.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _parse_feature_args(pairs: Sequence[str]) -> Dict[str, float]:
+    features: Dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"feature {pair!r} is not of the form NAME=VALUE")
+        name, _, value = pair.partition("=")
+        try:
+            features[name.strip()] = float(value)
+        except ValueError as exc:
+            raise SystemExit(f"feature {name!r} has a non-numeric value {value!r}") from exc
+    return features
+
+
+def _cmd_list_experiments(out) -> int:
+    for name in EXPERIMENT_NAMES:
+        definition = build_experiment(name, n_simulations=1, n_rounds=1, evaluation_subsample=10)
+        print(f"{name:<32} {definition.paper_reference:<18} {definition.description}", file=out)
+    return 0
+
+
+def _cmd_run_experiment(args, out) -> int:
+    definition = build_experiment(
+        args.name,
+        n_simulations=args.simulations,
+        n_rounds=args.rounds,
+        evaluation_subsample=args.subsample,
+        seed=args.seed,
+    )
+    print(f"running {definition.name}: {definition.description}", file=out)
+    outcome = run_experiment(definition)
+    print(format_series(outcome.result, every=max(args.every, 1), title=definition.paper_reference), file=out)
+    print("", file=out)
+    print(format_summary(outcome.summary(), title="summary"), file=out)
+    return 0
+
+
+def _cmd_generate_dataset(args, out) -> int:
+    builder = _DATASET_BUILDERS[args.dataset]
+    kwargs = {}
+    if args.runs is not None:
+        kwargs["n_runs"] = args.runs
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    bundle = builder(**kwargs)
+    path = save_dataset(bundle, args.output)
+    print(
+        f"wrote {bundle.n_runs} {bundle.name} runs on {len(bundle.catalog)} hardware "
+        f"configurations to {path}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_show_catalog(args, out) -> int:
+    catalog = _CATALOGS[args.catalog]()
+    cost_model = ResourceCostModel()
+    ranked = {hw.name: rank for rank, hw in enumerate(cost_model.rank(catalog))}
+    print(f"{'name':<6} {'cpus':>5} {'memory_gb':>10} {'gpus':>5} {'cost/h':>8} {'efficiency rank':>16}", file=out)
+    for hw in catalog:
+        print(
+            f"{hw.name:<6} {hw.cpus:>5} {hw.memory_gb:>10.1f} {hw.gpus:>5} "
+            f"{hw.cost_per_hour:>8.2f} {ranked[hw.name]:>16}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_recommend(args, out) -> int:
+    history = load_run_history(args.dataset)
+    features = _parse_feature_args(args.features)
+    missing = [name for name in history.feature_names if name not in features]
+    if missing:
+        raise SystemExit(
+            f"missing features {missing}; the {history.name} dataset expects {history.feature_names}"
+        )
+    recommender = BanditWare(
+        catalog=history.catalog,
+        feature_names=history.feature_names,
+        tolerance=ToleranceConfig(ratio=args.tolerance_ratio, seconds=args.tolerance_seconds),
+        seed=args.seed,
+    )
+    ingested = recommender.warm_start(history.frame)
+    tolerance = ToleranceConfig(ratio=args.tolerance_ratio, seconds=args.tolerance_seconds)
+    choice = recommender.best_hardware(features, tolerance=tolerance)
+    predictions = recommender.predict_runtimes(features)
+    print(f"warm-started from {ingested} historical {history.application} runs", file=out)
+    print("predicted runtimes:", file=out)
+    for name, runtime in sorted(predictions.items(), key=lambda kv: kv[1]):
+        marker = " <= recommended" if name == choice.name else ""
+        print(f"  {name:<6} {runtime:>12.1f}s{marker}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-experiments":
+            return _cmd_list_experiments(out)
+        if args.command == "run-experiment":
+            return _cmd_run_experiment(args, out)
+        if args.command == "generate-dataset":
+            return _cmd_generate_dataset(args, out)
+        if args.command == "show-catalog":
+            return _cmd_show_catalog(args, out)
+        if args.command == "recommend":
+            return _cmd_recommend(args, out)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""A small Kubernetes-like cluster execution simulator.
+
+The paper schedules workflows on the National Data Platform's geo-distributed
+Kubernetes cluster; this package is the stand-in substrate that "executes"
+a workload on the hardware configuration BanditWare selected and reports the
+observed runtime back (see DESIGN.md, "Substitutions").
+
+Components:
+
+* :mod:`~repro.cluster.events` -- a discrete-event engine (priority queue of
+  timestamped events).
+* :mod:`~repro.cluster.node` -- cluster nodes with CPU/memory/GPU capacity and
+  allocation accounting.
+* :mod:`~repro.cluster.pod` -- pods: a workload run bound to a resource
+  request (a :class:`~repro.hardware.HardwareConfig`) with a lifecycle
+  (pending → running → completed).
+* :mod:`~repro.cluster.scheduler` -- FIFO and best-fit bin-packing schedulers
+  that place pending pods onto nodes with sufficient free capacity.
+* :mod:`~repro.cluster.simulator` -- :class:`ClusterSimulator`, which ties the
+  pieces together and exposes the ``submit → run → observe runtime`` loop the
+  online recommender drives.
+"""
+
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.node import Node, InsufficientCapacityError
+from repro.cluster.pod import Pod, PodPhase
+from repro.cluster.scheduler import FIFOScheduler, BestFitScheduler, SchedulingDecision
+from repro.cluster.simulator import ClusterSimulator, CompletedRun
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Node",
+    "InsufficientCapacityError",
+    "Pod",
+    "PodPhase",
+    "FIFOScheduler",
+    "BestFitScheduler",
+    "SchedulingDecision",
+    "ClusterSimulator",
+    "CompletedRun",
+]

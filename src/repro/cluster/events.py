@@ -1,0 +1,105 @@
+"""A minimal discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A timestamped event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    kind:
+        Event name (``"pod_submitted"``, ``"pod_finished"`` ...).
+    payload:
+        Arbitrary data attached to the event.
+    seq:
+        Tie-breaking sequence number assigned by the queue; events at equal
+        times are processed in insertion order.
+    """
+
+    time: float
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The time of the most recently popped event (starts at 0)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: str, **payload: Any) -> Event:
+        """Schedule an event at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        seq = next(self._counter)
+        event = Event(time=float(time), kind=kind, payload=dict(payload), seq=seq)
+        heapq.heappush(self._heap, (event.time, seq, event))
+        return event
+
+    def push_in(self, delay: float, kind: str, **payload: Any) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.push(self._now + delay, kind, **payload)
+
+    def pop(self) -> Event:
+        """Pop and return the next event, advancing the clock to its time."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        _, _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain(self, handler: Callable[[Event], None], until: Optional[float] = None) -> int:
+        """Pop events (optionally only up to time ``until``), passing each to ``handler``.
+
+        Returns the number of events processed.  The handler may push new
+        events while draining.
+        """
+        processed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                break
+            handler(self.pop())
+            processed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return processed

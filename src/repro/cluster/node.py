@@ -1,0 +1,127 @@
+"""Cluster nodes with resource-capacity accounting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hardware import HardwareConfig
+
+__all__ = ["Node", "InsufficientCapacityError"]
+
+
+class InsufficientCapacityError(RuntimeError):
+    """Raised when an allocation would exceed a node's free capacity."""
+
+
+class Node:
+    """One cluster node with CPU, memory and GPU capacity.
+
+    Parameters
+    ----------
+    name:
+        Node identifier (unique within a cluster).
+    cpus, memory_gb, gpus:
+        Total allocatable capacity.
+    labels:
+        Arbitrary metadata (zone, architecture, ...), mirroring Kubernetes
+        node labels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cpus: int,
+        memory_gb: float,
+        gpus: int = 0,
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        if not name:
+            raise ValueError("node requires a non-empty name")
+        if cpus <= 0 or memory_gb <= 0 or gpus < 0:
+            raise ValueError(
+                f"invalid capacity for node {name!r}: cpus={cpus}, memory_gb={memory_gb}, gpus={gpus}"
+            )
+        self.name = name
+        self.cpus = int(cpus)
+        self.memory_gb = float(memory_gb)
+        self.gpus = int(gpus)
+        self.labels = dict(labels or {})
+        self._allocations: Dict[str, HardwareConfig] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def allocated_cpus(self) -> int:
+        return sum(cfg.cpus for cfg in self._allocations.values())
+
+    @property
+    def allocated_memory_gb(self) -> float:
+        return sum(cfg.memory_gb for cfg in self._allocations.values())
+
+    @property
+    def allocated_gpus(self) -> int:
+        return sum(cfg.gpus for cfg in self._allocations.values())
+
+    @property
+    def free_cpus(self) -> int:
+        return self.cpus - self.allocated_cpus
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.memory_gb - self.allocated_memory_gb
+
+    @property
+    def free_gpus(self) -> int:
+        return self.gpus - self.allocated_gpus
+
+    @property
+    def allocations(self) -> Dict[str, HardwareConfig]:
+        """Current allocations keyed by pod name."""
+        return dict(self._allocations)
+
+    def utilisation(self) -> Dict[str, float]:
+        """Fractional utilisation of each resource dimension."""
+        return {
+            "cpus": self.allocated_cpus / self.cpus,
+            "memory_gb": self.allocated_memory_gb / self.memory_gb,
+            "gpus": (self.allocated_gpus / self.gpus) if self.gpus else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def fits(self, request: HardwareConfig) -> bool:
+        """Whether ``request`` fits in the node's *free* capacity."""
+        return (
+            request.cpus <= self.free_cpus
+            and request.memory_gb <= self.free_memory_gb
+            and request.gpus <= self.free_gpus
+        )
+
+    def allocate(self, pod_name: str, request: HardwareConfig) -> None:
+        """Reserve ``request`` for ``pod_name``.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If the request does not fit.
+        ValueError
+            If ``pod_name`` already holds an allocation on this node.
+        """
+        if pod_name in self._allocations:
+            raise ValueError(f"pod {pod_name!r} already allocated on node {self.name!r}")
+        if not self.fits(request):
+            raise InsufficientCapacityError(
+                f"node {self.name!r} cannot fit request {request.as_tuple()} "
+                f"(free: {self.free_cpus} CPU, {self.free_memory_gb:g} GiB, {self.free_gpus} GPU)"
+            )
+        self._allocations[pod_name] = request
+
+    def release(self, pod_name: str) -> HardwareConfig:
+        """Release the allocation held by ``pod_name`` and return it."""
+        if pod_name not in self._allocations:
+            raise KeyError(f"pod {pod_name!r} holds no allocation on node {self.name!r}")
+        return self._allocations.pop(pod_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Node({self.name!r}, cpus={self.allocated_cpus}/{self.cpus}, "
+            f"mem={self.allocated_memory_gb:g}/{self.memory_gb:g}GiB, pods={len(self._allocations)})"
+        )

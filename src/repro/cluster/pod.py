@@ -1,0 +1,111 @@
+"""Pods: one workload run bound to a hardware (resource) request."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.hardware import HardwareConfig
+
+__all__ = ["PodPhase", "Pod"]
+
+
+class PodPhase(str, enum.Enum):
+    """Lifecycle phases, a subset of Kubernetes pod phases."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    """A scheduled unit of work.
+
+    Attributes
+    ----------
+    name:
+        Unique pod name.
+    request:
+        Hardware configuration requested (the bandit's chosen arm).
+    features:
+        The workflow's context features (kept for bookkeeping / post-hoc
+        analysis of what ran where).
+    application:
+        Application name the pod belongs to.
+    submit_time, start_time, finish_time:
+        Simulation timestamps (seconds); ``None`` until the corresponding
+        transition happens.
+    node:
+        Name of the node the pod was placed on.
+    phase:
+        Current lifecycle phase.
+    """
+
+    name: str
+    request: HardwareConfig
+    features: Dict[str, float] = field(default_factory=dict)
+    application: str = "unknown"
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    node: Optional[str] = None
+    phase: PodPhase = PodPhase.PENDING
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def mark_submitted(self, time: float) -> None:
+        if self.submit_time is not None:
+            raise RuntimeError(f"pod {self.name!r} was already submitted")
+        self.submit_time = float(time)
+        self.phase = PodPhase.PENDING
+
+    def mark_running(self, time: float, node: str) -> None:
+        if self.phase is not PodPhase.PENDING:
+            raise RuntimeError(f"pod {self.name!r} cannot start from phase {self.phase}")
+        self.start_time = float(time)
+        self.node = node
+        self.phase = PodPhase.RUNNING
+
+    def mark_finished(self, time: float, succeeded: bool = True) -> None:
+        if self.phase is not PodPhase.RUNNING:
+            raise RuntimeError(f"pod {self.name!r} cannot finish from phase {self.phase}")
+        self.finish_time = float(time)
+        self.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Time spent pending before starting, if both timestamps are known."""
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def runtime_seconds(self) -> Optional[float]:
+        """Execution time (start to finish), if the pod has finished."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten into a serialisable dictionary."""
+        return {
+            "name": self.name,
+            "application": self.application,
+            "hardware": self.request.name,
+            "node": self.node,
+            "phase": self.phase.value,
+            "submit_time": self.submit_time,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "queue_seconds": self.queue_seconds,
+            "runtime_seconds": self.runtime_seconds,
+            **{f"feature_{k}": v for k, v in self.features.items()},
+        }

@@ -1,0 +1,90 @@
+"""Pod-to-node schedulers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+
+__all__ = ["SchedulingDecision", "FIFOScheduler", "BestFitScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """The outcome of trying to place one pod.
+
+    Attributes
+    ----------
+    pod_name:
+        The pod considered.
+    node_name:
+        The node chosen, or ``None`` when the pod could not be placed.
+    reason:
+        Human-readable explanation (used by the event log and by tests).
+    """
+
+    pod_name: str
+    node_name: Optional[str]
+    reason: str
+
+    @property
+    def placed(self) -> bool:
+        return self.node_name is not None
+
+
+class Scheduler(abc.ABC):
+    """Base class: pick a node (or none) for a pending pod."""
+
+    @abc.abstractmethod
+    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
+        """Return the placement decision for ``pod`` given the current ``nodes``."""
+
+    def schedule(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
+        """Select a node and, if one fits, perform the allocation."""
+        decision = self.select_node(pod, nodes)
+        if decision.placed:
+            node = next(n for n in nodes if n.name == decision.node_name)
+            node.allocate(pod.name, pod.request)
+        return decision
+
+
+class FIFOScheduler(Scheduler):
+    """Place the pod on the first node (in catalog order) with room.
+
+    This mirrors a naive first-fit placement and is the default used by the
+    cluster simulator: BanditWare controls the *resource request*, not the
+    node choice, so the scheduler's only job is to find capacity.
+    """
+
+    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
+        for node in nodes:
+            if node.fits(pod.request):
+                return SchedulingDecision(pod.name, node.name, "first node with sufficient capacity")
+        return SchedulingDecision(pod.name, None, "no node has sufficient free capacity")
+
+
+class BestFitScheduler(Scheduler):
+    """Place the pod on the feasible node that leaves the least spare CPU.
+
+    A classic best-fit bin-packing heuristic: it keeps large contiguous
+    capacity free for large requests, which reduces head-of-line blocking in
+    the simulator's queue when workloads with mixed resource requests share
+    the cluster.
+    """
+
+    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
+        feasible: List[Node] = [n for n in nodes if n.fits(pod.request)]
+        if not feasible:
+            return SchedulingDecision(pod.name, None, "no node has sufficient free capacity")
+        best = min(
+            feasible,
+            key=lambda n: (
+                n.free_cpus - pod.request.cpus,
+                n.free_memory_gb - pod.request.memory_gb,
+                n.name,
+            ),
+        )
+        return SchedulingDecision(pod.name, best.name, "best-fit on remaining CPU")

@@ -1,0 +1,278 @@
+"""The cluster simulator: submit a workload on chosen hardware, observe runtime.
+
+:class:`ClusterSimulator` is the substrate BanditWare interacts with in this
+reproduction.  It models a small Kubernetes cluster (a list of
+:class:`~repro.cluster.node.Node`), uses a scheduler to place pods, advances a
+discrete-event clock, and reports each completed run's observed runtime --
+drawn from the workload model's noisy ground truth -- back to the caller.
+
+Two modes of use are supported:
+
+* **Synchronous** (:meth:`run_workload`): submit one workload on one hardware
+  configuration and immediately get its completed run.  This is what the
+  online recommendation loop uses (the paper schedules one workflow per
+  round).
+* **Batched / queued** (:meth:`submit` + :meth:`run_until_idle`): submit many
+  pods and let the event engine interleave them, exposing queueing delay when
+  the cluster is saturated.  Examples use this to show resource contention --
+  one of the misallocation costs the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.events import EventQueue
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod, PodPhase
+from repro.cluster.scheduler import FIFOScheduler, Scheduler
+from repro.hardware import HardwareCatalog, HardwareConfig
+from repro.utils.logging import EventLog, NullLog
+from repro.utils.rng import SeedLike, as_generator
+from repro.workloads.base import RunRecord, WorkloadModel
+
+__all__ = ["CompletedRun", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class CompletedRun:
+    """The observable outcome of one workload execution.
+
+    Attributes
+    ----------
+    record:
+        The run record (features, hardware, observed runtime) in the format
+        the data pipeline and the bandit consume.
+    queue_seconds:
+        Time the pod spent waiting for capacity before starting.
+    node:
+        Node the pod executed on.
+    """
+
+    record: RunRecord
+    queue_seconds: float
+    node: str
+
+
+def _default_nodes() -> List[Node]:
+    """A small heterogeneous cluster roughly shaped like an NDP slice."""
+    return [
+        Node("node-a", cpus=16, memory_gb=64),
+        Node("node-b", cpus=16, memory_gb=64),
+        Node("node-c", cpus=32, memory_gb=128),
+    ]
+
+
+class ClusterSimulator:
+    """Simulate workload execution on a small Kubernetes-like cluster.
+
+    Parameters
+    ----------
+    workload:
+        The application model providing ground-truth runtimes.
+    catalog:
+        Hardware configurations requests may use.
+    nodes:
+        Cluster nodes; defaults to a 3-node, 64-core cluster that can fit any
+        single request from the paper's catalogs.
+    scheduler:
+        Placement policy; defaults to first-fit FIFO.
+    seed:
+        Seed for runtime-noise draws.
+    log:
+        Optional event log recording submissions, placements and completions.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadModel,
+        catalog: HardwareCatalog,
+        nodes: Optional[Sequence[Node]] = None,
+        scheduler: Optional[Scheduler] = None,
+        seed: SeedLike = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.workload = workload
+        self.catalog = catalog
+        self.nodes: List[Node] = list(nodes) if nodes is not None else _default_nodes()
+        if not self.nodes:
+            raise ValueError("the cluster requires at least one node")
+        self.scheduler = scheduler or FIFOScheduler()
+        self._rng = as_generator(seed)
+        self.log = log if log is not None else NullLog()
+        self._events = EventQueue()
+        self._pending: List[Pod] = []
+        self._pods: Dict[str, Pod] = {}
+        self._completed: List[CompletedRun] = []
+        self._pod_counter = itertools.count(1)
+        self._run_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._events.now
+
+    @property
+    def completed_runs(self) -> List[CompletedRun]:
+        """All completed runs in completion order."""
+        return list(self._completed)
+
+    @property
+    def pods(self) -> Dict[str, Pod]:
+        """All pods ever submitted, keyed by name."""
+        return dict(self._pods)
+
+    def _resolve_hardware(self, hardware: HardwareConfig | str) -> HardwareConfig:
+        if isinstance(hardware, HardwareConfig):
+            if hardware.name not in self.catalog:
+                raise KeyError(
+                    f"hardware {hardware.name!r} is not in the simulator's catalog "
+                    f"({self.catalog.names})"
+                )
+            return self.catalog[hardware.name]
+        return self.catalog[hardware]
+
+    # ------------------------------------------------------------------ #
+    # Synchronous single-run interface (what the bandit loop uses)
+    # ------------------------------------------------------------------ #
+    def run_workload(
+        self,
+        features: Dict[str, float],
+        hardware: HardwareConfig | str,
+    ) -> CompletedRun:
+        """Execute one workflow on ``hardware`` and return its completed run.
+
+        The run is executed "alone": it does not contend with queued pods, so
+        the observed runtime reflects only the workload model's ground truth
+        plus noise, matching the per-run runtimes in the paper's datasets.
+        """
+        config = self._resolve_hardware(hardware)
+        runtime = self.workload.observed_runtime(features, config, self._rng)
+        record = RunRecord(
+            run_id=f"{self.workload.name}-run-{next(self._run_counter):06d}",
+            application=self.workload.name,
+            hardware=config.name,
+            runtime_seconds=runtime,
+            features=dict(features),
+        )
+        run = CompletedRun(record=record, queue_seconds=0.0, node=self.nodes[0].name)
+        self._completed.append(run)
+        self.log.record(
+            "cluster",
+            "run_completed",
+            time=self.now,
+            run_id=record.run_id,
+            hardware=config.name,
+            runtime=runtime,
+        )
+        return run
+
+    # ------------------------------------------------------------------ #
+    # Queued interface (event-driven, exposes contention)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        features: Dict[str, float],
+        hardware: HardwareConfig | str,
+        at_time: Optional[float] = None,
+    ) -> Pod:
+        """Submit a pod requesting ``hardware`` for a workflow with ``features``."""
+        config = self._resolve_hardware(hardware)
+        name = f"pod-{next(self._pod_counter):06d}"
+        pod = Pod(
+            name=name,
+            request=config,
+            features=dict(features),
+            application=self.workload.name,
+        )
+        submit_time = self.now if at_time is None else float(at_time)
+        self._events.push(submit_time, "pod_submitted", pod_name=name)
+        self._pods[name] = pod
+        self.log.record("cluster", "pod_submitted", time=submit_time, pod=name, hardware=config.name)
+        return pod
+
+    def _try_schedule_pending(self) -> None:
+        still_pending: List[Pod] = []
+        for pod in self._pending:
+            decision = self.scheduler.schedule(pod, self.nodes)
+            if decision.placed:
+                pod.mark_running(self.now, decision.node_name)
+                runtime = self.workload.observed_runtime(pod.features, pod.request, self._rng)
+                pod.metadata["planned_runtime"] = runtime
+                self._events.push_in(runtime, "pod_finished", pod_name=pod.name)
+                self.log.record(
+                    "scheduler",
+                    "pod_scheduled",
+                    time=self.now,
+                    pod=pod.name,
+                    node=decision.node_name,
+                    reason=decision.reason,
+                )
+            else:
+                still_pending.append(pod)
+        self._pending = still_pending
+
+    def _handle_event(self, event) -> None:
+        if event.kind == "pod_submitted":
+            pod = self._pods[event.payload["pod_name"]]
+            pod.mark_submitted(event.time)
+            self._pending.append(pod)
+            self._try_schedule_pending()
+        elif event.kind == "pod_finished":
+            pod = self._pods[event.payload["pod_name"]]
+            node = next(n for n in self.nodes if n.name == pod.node)
+            node.release(pod.name)
+            pod.mark_finished(event.time, succeeded=True)
+            record = RunRecord(
+                run_id=f"{self.workload.name}-run-{next(self._run_counter):06d}",
+                application=self.workload.name,
+                hardware=pod.request.name,
+                runtime_seconds=float(pod.runtime_seconds or 0.0),
+                features=dict(pod.features),
+            )
+            self._completed.append(
+                CompletedRun(
+                    record=record,
+                    queue_seconds=float(pod.queue_seconds or 0.0),
+                    node=pod.node or "",
+                )
+            )
+            self.log.record(
+                "cluster",
+                "pod_finished",
+                time=event.time,
+                pod=pod.name,
+                runtime=pod.runtime_seconds,
+            )
+            self._try_schedule_pending()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event kind {event.kind!r}")
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> List[CompletedRun]:
+        """Process events until no pods remain pending or running.
+
+        Returns the runs completed during this call (in completion order).
+        """
+        before = len(self._completed)
+        processed = 0
+        while self._events and processed < max_events:
+            self._handle_event(self._events.pop())
+            processed += 1
+        if self._events:
+            raise RuntimeError(f"event budget of {max_events} exhausted with events remaining")
+        if self._pending:
+            names = [p.name for p in self._pending]
+            raise RuntimeError(
+                f"pods {names} can never be scheduled: requests exceed every node's capacity"
+            )
+        return self._completed[before:]
+
+    # ------------------------------------------------------------------ #
+    def utilisation(self) -> Dict[str, Dict[str, float]]:
+        """Per-node utilisation snapshot."""
+        return {node.name: node.utilisation() for node in self.nodes}

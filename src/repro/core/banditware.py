@@ -1,0 +1,270 @@
+"""The BanditWare recommender façade.
+
+:class:`BanditWare` is the public entry point of the library: it owns the
+hardware catalog (the arm space), one runtime model per arm, and an
+arm-selection policy, and exposes the online loop the paper describes --
+``recommend`` a hardware configuration for an incoming workflow, schedule the
+workflow, then ``observe`` the measured runtime so the per-arm model is
+refined (Algorithm 1).
+
+A typical online session::
+
+    from repro import BanditWare, ndp_catalog
+
+    bw = BanditWare(catalog=ndp_catalog(), feature_names=["area", "wind_speed"], seed=7)
+    for workflow in stream:
+        rec = bw.recommend(workflow.features)
+        runtime = run_on_cluster(workflow, rec.hardware)      # user-provided
+        bw.observe(workflow.features, rec.hardware, runtime)
+
+Historical data can seed the models before going online via
+:meth:`BanditWare.warm_start`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.models import ArmModel, LeastSquaresModel
+from repro.core.policies import BanditPolicy, DecayingEpsilonGreedyPolicy, PolicyDecision
+from repro.core.selection import ToleranceConfig
+from repro.dataframe import DataFrame
+from repro.hardware import HardwareCatalog, HardwareConfig
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Recommendation", "ObservationRecord", "BanditWare"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """What :meth:`BanditWare.recommend` returns.
+
+    Attributes
+    ----------
+    hardware:
+        The recommended hardware configuration.
+    decision:
+        The underlying policy decision with its audit trail (estimates,
+        whether the round explored, the tolerance threshold used, ...).
+    """
+
+    hardware: HardwareConfig
+    decision: PolicyDecision
+
+    @property
+    def explored(self) -> bool:
+        return self.decision.explored
+
+    @property
+    def estimates(self) -> Dict[str, float]:
+        return dict(self.decision.estimates)
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One observation fed back to the recommender."""
+
+    features: Dict[str, float]
+    hardware: str
+    runtime_seconds: float
+
+
+class BanditWare:
+    """Online hardware recommendation with per-hardware linear runtime models.
+
+    Parameters
+    ----------
+    catalog:
+        The hardware configurations to choose among (the arm space).
+    feature_names:
+        Ordered names of the workflow features forming the context vector.
+    policy:
+        Arm-selection policy; defaults to the paper's decaying contextual
+        ε-greedy strategy (``epsilon0 = 1``, ``decay = 0.99``) with the given
+        ``tolerance``.
+    tolerance:
+        Convenience shortcut for the default policy's
+        ``(tolerance_ratio, tolerance_seconds)``; ignored when an explicit
+        ``policy`` instance is supplied.
+    arm_model_factory:
+        Callable returning a fresh :class:`~repro.core.models.ArmModel` given
+        the number of features; defaults to the paper's batch least-squares
+        model.
+    seed:
+        Seed for the policy's exploration randomness.
+    """
+
+    def __init__(
+        self,
+        catalog: HardwareCatalog,
+        feature_names: Sequence[str],
+        policy: Optional[BanditPolicy] = None,
+        tolerance: Optional[ToleranceConfig] = None,
+        arm_model_factory: Optional[Callable[[int], ArmModel]] = None,
+        seed: SeedLike = None,
+    ):
+        if not feature_names:
+            raise ValueError("feature_names must contain at least one feature")
+        names = [str(n) for n in feature_names]
+        if len(set(names)) != len(names):
+            raise ValueError(f"feature_names contains duplicates: {names}")
+        self.catalog = catalog
+        self.feature_names: List[str] = names
+        self._factory = arm_model_factory or (lambda m: LeastSquaresModel(m))
+        self.policy = policy or DecayingEpsilonGreedyPolicy(tolerance=tolerance)
+        self._rng = as_generator(seed)
+        self._models: List[ArmModel] = [self._factory(len(names)) for _ in catalog]
+        self._history: List[ObservationRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def models(self) -> List[ArmModel]:
+        """Per-arm runtime models, in catalog (arm) order."""
+        return list(self._models)
+
+    @property
+    def history(self) -> List[ObservationRecord]:
+        """All observations fed to :meth:`observe` / :meth:`warm_start`, in order."""
+        return list(self._history)
+
+    def model_for(self, hardware: Union[str, HardwareConfig]) -> ArmModel:
+        """The runtime model of one hardware configuration."""
+        return self._models[self.catalog.index_of(hardware)]
+
+    def coefficients(self) -> Dict[str, Dict[str, float]]:
+        """Named coefficients of every arm: ``{hardware: {"w_<feat>": .., "b": ..}}``."""
+        return {
+            hw.name: model.coefficient_dict(self.feature_names)
+            for hw, model in zip(self.catalog, self._models)
+        }
+
+    def observation_counts(self) -> Dict[str, int]:
+        """Number of observations each arm's model has seen."""
+        return {hw.name: model.n_observations for hw, model in zip(self.catalog, self._models)}
+
+    # ------------------------------------------------------------------ #
+    # Feature handling
+    # ------------------------------------------------------------------ #
+    def context_vector(self, features: Dict[str, float]) -> np.ndarray:
+        """Order the ``features`` dict into the context vector ``x``."""
+        missing = [name for name in self.feature_names if name not in features]
+        if missing:
+            raise KeyError(
+                f"features missing {missing}; BanditWare expects {self.feature_names}"
+            )
+        return np.asarray([float(features[name]) for name in self.feature_names])
+
+    # ------------------------------------------------------------------ #
+    # The online loop
+    # ------------------------------------------------------------------ #
+    def recommend(self, features: Dict[str, float]) -> Recommendation:
+        """Recommend a hardware configuration for one incoming workflow."""
+        context = self.context_vector(features)
+        decision = self.policy.select(context, self._models, self.catalog, self._rng)
+        return Recommendation(hardware=decision.hardware, decision=decision)
+
+    def observe(
+        self,
+        features: Dict[str, float],
+        hardware: Union[str, HardwareConfig],
+        runtime_seconds: float,
+    ) -> None:
+        """Feed back the observed runtime of a workflow run on ``hardware``."""
+        runtime_seconds = float(runtime_seconds)
+        if not np.isfinite(runtime_seconds) or runtime_seconds < 0:
+            raise ValueError(
+                f"runtime_seconds must be finite and non-negative, got {runtime_seconds}"
+            )
+        context = self.context_vector(features)
+        arm = self.catalog.index_of(hardware)
+        self._models[arm].update(context, runtime_seconds)
+        self.policy.observe(arm, context, runtime_seconds)
+        self._history.append(
+            ObservationRecord(
+                features={k: float(v) for k, v in features.items()},
+                hardware=self.catalog[arm].name,
+                runtime_seconds=runtime_seconds,
+            )
+        )
+
+    def step(
+        self,
+        features: Dict[str, float],
+        runtime_callback: Callable[[HardwareConfig], float],
+    ) -> tuple:
+        """Run one full round: recommend, execute via ``runtime_callback``, observe.
+
+        Returns ``(recommendation, observed_runtime)``.
+        """
+        rec = self.recommend(features)
+        runtime = float(runtime_callback(rec.hardware))
+        self.observe(features, rec.hardware, runtime)
+        return rec, runtime
+
+    # ------------------------------------------------------------------ #
+    # Prediction / offline use
+    # ------------------------------------------------------------------ #
+    def predict_runtimes(self, features: Dict[str, float]) -> Dict[str, float]:
+        """Estimated runtime of ``features`` on every hardware configuration."""
+        context = self.context_vector(features)
+        return {
+            hw.name: float(model.predict(context))
+            for hw, model in zip(self.catalog, self._models)
+        }
+
+    def best_hardware(
+        self, features: Dict[str, float], tolerance: Optional[ToleranceConfig] = None
+    ) -> HardwareConfig:
+        """The hardware tolerant selection would pick right now (no exploration)."""
+        from repro.core.selection import TolerantSelector
+
+        selector = TolerantSelector(tolerance=tolerance or ToleranceConfig())
+        outcome = selector.select(self.catalog, self.predict_runtimes(features))
+        return outcome.chosen
+
+    # ------------------------------------------------------------------ #
+    # Warm starting from historical data
+    # ------------------------------------------------------------------ #
+    def warm_start(
+        self,
+        frame: DataFrame,
+        hardware_column: str = "hardware",
+        runtime_column: str = "runtime_seconds",
+    ) -> int:
+        """Seed the per-arm models from a run-history table.
+
+        The frame must contain one column per feature in
+        :attr:`feature_names`, plus the hardware name and runtime columns.
+        Rows whose hardware is not in the catalog are skipped.  Returns the
+        number of rows ingested.
+        """
+        for column in (hardware_column, runtime_column, *self.feature_names):
+            if column not in frame:
+                raise KeyError(
+                    f"warm_start frame is missing column {column!r}; columns: {frame.columns}"
+                )
+        ingested = 0
+        for row in frame.iterrows():
+            hw_name = str(row[hardware_column])
+            if hw_name not in self.catalog:
+                continue
+            features = {name: float(row[name]) for name in self.feature_names}
+            self.observe(features, hw_name, float(row[runtime_column]))
+            ingested += 1
+        return ingested
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Forget everything: fresh arm models, reset policy state, empty history."""
+        self._models = [self._factory(self.n_features) for _ in self.catalog]
+        self.policy.reset()
+        self._history.clear()

@@ -1,0 +1,103 @@
+"""Interface shared by all per-arm runtime models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["ArmModel"]
+
+
+class ArmModel(abc.ABC):
+    """A runtime model for one hardware configuration (one bandit arm).
+
+    Implementations estimate ``R(x) ≈ wᵀ x + b`` from the ``(x, runtime)``
+    observations assigned to the arm, and expose:
+
+    * :meth:`update` -- incorporate one observation.
+    * :meth:`predict` -- point estimate of the runtime for a context.
+    * :meth:`uncertainty` -- (optional) standard-error-style score used by
+      optimism/posterior-sampling policies; models that do not track
+      uncertainty return ``inf`` until fitted and ``0`` afterwards.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality of the context vector ``x``.
+    """
+
+    def __init__(self, n_features: int):
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.n_features = int(n_features)
+        self._n_observations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_observations(self) -> int:
+        """Number of observations the model has been updated with."""
+        return self._n_observations
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the model has seen at least one observation."""
+        return self._n_observations > 0
+
+    def _check_context(self, x: Sequence[float] | np.ndarray) -> np.ndarray:
+        arr = check_feature_matrix(x, name="x", n_features=self.n_features)
+        if arr.shape[0] != 1:
+            raise ValueError(f"expected a single context vector, got {arr.shape[0]} rows")
+        return arr[0]
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def update(self, x: Sequence[float] | np.ndarray, runtime: float) -> None:
+        """Incorporate one ``(context, observed runtime)`` pair."""
+
+    @abc.abstractmethod
+    def predict(self, x: Sequence[float] | np.ndarray) -> float:
+        """Point estimate of the runtime for context ``x`` (seconds)."""
+
+    def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
+        """A non-negative uncertainty score for the prediction at ``x``.
+
+        The default implementation knows nothing about uncertainty: it returns
+        ``inf`` before the first observation (forcing optimistic policies to
+        try the arm) and ``0`` afterwards.
+        """
+        self._check_context(x)
+        return float("inf") if not self.is_fitted else 0.0
+
+    @property
+    @abc.abstractmethod
+    def coefficients(self) -> np.ndarray:
+        """Current slope estimates ``w`` (length ``n_features``)."""
+
+    @property
+    @abc.abstractmethod
+    def intercept(self) -> float:
+        """Current intercept estimate ``b``."""
+
+    # ------------------------------------------------------------------ #
+    def predict_many(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`predict` over the rows of ``X``."""
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        return np.asarray([self.predict(row) for row in X], dtype=float)
+
+    def coefficient_dict(self, feature_names: Sequence[str]) -> Dict[str, float]:
+        """Named coefficients ``{"w_<feature>": ..., "b": ...}``."""
+        if len(feature_names) != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} feature names, got {len(feature_names)}"
+            )
+        out = {f"w_{name}": float(w) for name, w in zip(feature_names, self.coefficients)}
+        out["b"] = float(self.intercept)
+        return out
+
+    def clone_unfitted(self) -> "ArmModel":
+        """A fresh, unfitted model with the same hyper-parameters."""
+        return type(self)(self.n_features)  # pragma: no cover - overridden where needed

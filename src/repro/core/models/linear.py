@@ -1,0 +1,130 @@
+"""Batch ordinary-least-squares per-arm model (the paper's Algorithm 1, line 11)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.models.base import ArmModel
+from repro.utils.validation import check_feature_matrix
+
+__all__ = ["LeastSquaresModel"]
+
+
+class LeastSquaresModel(ArmModel):
+    """Refit ``w, b = argmin Σ (R - (wᵀx + b))²`` over all stored observations.
+
+    This is a literal implementation of line 11 of Algorithm 1: the arm keeps
+    its full data store ``D_k`` and re-solves the least-squares problem after
+    every new observation.  The solve uses :func:`numpy.linalg.lstsq` on the
+    design matrix ``[X | 1]``, which handles the under-determined early rounds
+    (fewer samples than features) by returning the minimum-norm solution.
+
+    Parameters
+    ----------
+    n_features:
+        Context dimensionality.
+    fit_intercept:
+        When false the intercept is pinned to zero and only slopes are fitted.
+    """
+
+    def __init__(self, n_features: int, fit_intercept: bool = True):
+        super().__init__(n_features)
+        self.fit_intercept = bool(fit_intercept)
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._w = np.zeros(self.n_features)
+        self._b = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self._w.copy()
+
+    @property
+    def intercept(self) -> float:
+        return float(self._b)
+
+    @property
+    def observations(self) -> tuple:
+        """The stored ``(X, y)`` data as arrays (copies)."""
+        if not self._X:
+            return np.empty((0, self.n_features)), np.empty(0)
+        return np.vstack(self._X), np.asarray(self._y, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    def _refit(self) -> None:
+        X = np.vstack(self._X)
+        y = np.asarray(self._y, dtype=float)
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self._w = solution[:-1]
+            self._b = float(solution[-1])
+        else:
+            self._w = solution
+            self._b = 0.0
+
+    def update(self, x: Sequence[float] | np.ndarray, runtime: float) -> None:
+        context = self._check_context(x)
+        runtime = float(runtime)
+        if not np.isfinite(runtime) or runtime < 0:
+            raise ValueError(f"runtime must be a finite non-negative number, got {runtime}")
+        self._X.append(context)
+        self._y.append(runtime)
+        self._n_observations += 1
+        self._refit()
+
+    def fit(self, X: Sequence[Sequence[float]] | np.ndarray, y: Sequence[float] | np.ndarray) -> "LeastSquaresModel":
+        """Replace the stored data with ``(X, y)`` and refit in one shot."""
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
+        if y.size and (not np.all(np.isfinite(y)) or np.any(y < 0)):
+            raise ValueError("y must contain finite non-negative runtimes")
+        self._X = [row for row in X]
+        self._y = list(map(float, y))
+        self._n_observations = len(self._y)
+        if self._X:
+            self._refit()
+        else:
+            self._w = np.zeros(self.n_features)
+            self._b = 0.0
+        return self
+
+    def predict(self, x: Sequence[float] | np.ndarray) -> float:
+        context = self._check_context(x)
+        return float(self._w @ context + self._b)
+
+    def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
+        """Standard error of the prediction under a homoscedastic-noise OLS model.
+
+        Returns ``inf`` until the arm has strictly more observations than
+        parameters (so residual variance is estimable).
+        """
+        context = self._check_context(x)
+        n_params = self.n_features + (1 if self.fit_intercept else 0)
+        if self._n_observations <= n_params:
+            return float("inf")
+        X, y = self.observations
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+            query = np.concatenate([context, [1.0]])
+        else:
+            design = X
+            query = context
+        residuals = y - design @ np.concatenate([self._w, [self._b]] if self.fit_intercept else [self._w])
+        dof = max(self._n_observations - n_params, 1)
+        sigma2 = float(residuals @ residuals) / dof
+        gram = design.T @ design
+        # pseudo-inverse guards against collinear contexts in early rounds.
+        cov = np.linalg.pinv(gram) * sigma2
+        return float(np.sqrt(max(query @ cov @ query, 0.0)))
+
+    def clone_unfitted(self) -> "LeastSquaresModel":
+        return LeastSquaresModel(self.n_features, fit_intercept=self.fit_intercept)

@@ -1,0 +1,123 @@
+"""L2-regularised per-arm model."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.models.base import ArmModel
+from repro.utils.validation import check_feature_matrix, check_positive
+
+__all__ = ["RidgeModel"]
+
+
+class RidgeModel(ArmModel):
+    """Ridge regression ``argmin Σ (R - (wᵀx + b))² + λ‖w‖²``.
+
+    Early bandit rounds give each arm only a handful of observations; plain
+    least squares is then ill-conditioned (and the minimum-norm solution can
+    swing wildly between rounds).  A small L2 penalty keeps the per-arm
+    estimates stable, which is why the BanditWare facade exposes this model as
+    an alternative ``arm_model`` choice and why the ablation benchmark
+    compares it against the paper's plain OLS.
+
+    The intercept is never penalised.
+
+    Parameters
+    ----------
+    n_features:
+        Context dimensionality.
+    alpha:
+        Regularisation strength λ (must be positive).
+    fit_intercept:
+        When false the intercept is pinned at zero.
+    """
+
+    def __init__(self, n_features: int, alpha: float = 1.0, fit_intercept: bool = True):
+        super().__init__(n_features)
+        self.alpha = check_positive(alpha, "alpha")
+        self.fit_intercept = bool(fit_intercept)
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._w = np.zeros(self.n_features)
+        self._b = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self._w.copy()
+
+    @property
+    def intercept(self) -> float:
+        return float(self._b)
+
+    # ------------------------------------------------------------------ #
+    def _refit(self) -> None:
+        X = np.vstack(self._X)
+        y = np.asarray(self._y, dtype=float)
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        n_params = design.shape[1]
+        penalty = self.alpha * np.eye(n_params)
+        if self.fit_intercept:
+            penalty[-1, -1] = 0.0  # do not shrink the intercept
+        gram = design.T @ design + penalty
+        solution = np.linalg.solve(gram, design.T @ y)
+        if self.fit_intercept:
+            self._w = solution[:-1]
+            self._b = float(solution[-1])
+        else:
+            self._w = solution
+            self._b = 0.0
+
+    def update(self, x: Sequence[float] | np.ndarray, runtime: float) -> None:
+        context = self._check_context(x)
+        runtime = float(runtime)
+        if not np.isfinite(runtime) or runtime < 0:
+            raise ValueError(f"runtime must be a finite non-negative number, got {runtime}")
+        self._X.append(context)
+        self._y.append(runtime)
+        self._n_observations += 1
+        self._refit()
+
+    def fit(self, X, y) -> "RidgeModel":
+        """Replace stored data with ``(X, y)`` and refit."""
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
+        self._X = [row for row in X]
+        self._y = list(map(float, y))
+        self._n_observations = len(self._y)
+        if self._X:
+            self._refit()
+        else:
+            self._w = np.zeros(self.n_features)
+            self._b = 0.0
+        return self
+
+    def predict(self, x: Sequence[float] | np.ndarray) -> float:
+        context = self._check_context(x)
+        return float(self._w @ context + self._b)
+
+    def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
+        """Ridge-posterior style score ``sqrt(xᵀ (XᵀX + λI)⁻¹ x)``."""
+        context = self._check_context(x)
+        if not self.is_fitted:
+            return float("inf")
+        X = np.vstack(self._X)
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+            query = np.concatenate([context, [1.0]])
+        else:
+            design = X
+            query = context
+        gram = design.T @ design + self.alpha * np.eye(design.shape[1])
+        inv = np.linalg.inv(gram)
+        return float(np.sqrt(max(query @ inv @ query, 0.0)))
+
+    def clone_unfitted(self) -> "RidgeModel":
+        return RidgeModel(self.n_features, alpha=self.alpha, fit_intercept=self.fit_intercept)

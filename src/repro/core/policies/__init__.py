@@ -1,0 +1,36 @@
+"""Arm-selection policies.
+
+The paper's contribution uses one policy -- the decaying contextual ε-greedy
+strategy with tolerant selection (Algorithm 1) -- and names "different and
+more complex contextual bandit algorithms" as future work.  This sub-package
+provides that policy plus the standard alternatives so the ablation
+benchmarks can compare them on the same workloads:
+
+* :class:`~repro.core.policies.epsilon_greedy.DecayingEpsilonGreedyPolicy` --
+  the paper's Algorithm 1 selection rule.
+* :class:`~repro.core.policies.greedy.GreedyPolicy` -- exploitation only
+  (ε = 0 throughout), with the same tolerant selection.
+* :class:`~repro.core.policies.random_policy.RandomPolicy` -- exploration
+  only; the paper's "random guess" reference line.
+* :class:`~repro.core.policies.ucb.LinUCBPolicy` -- optimism in the face of
+  uncertainty over the per-arm linear models.
+* :class:`~repro.core.policies.thompson.ThompsonSamplingPolicy` -- posterior
+  sampling over the per-arm linear models.
+"""
+
+from repro.core.policies.base import BanditPolicy, PolicyDecision
+from repro.core.policies.epsilon_greedy import DecayingEpsilonGreedyPolicy
+from repro.core.policies.greedy import GreedyPolicy
+from repro.core.policies.random_policy import RandomPolicy
+from repro.core.policies.ucb import LinUCBPolicy
+from repro.core.policies.thompson import ThompsonSamplingPolicy
+
+__all__ = [
+    "BanditPolicy",
+    "PolicyDecision",
+    "DecayingEpsilonGreedyPolicy",
+    "GreedyPolicy",
+    "RandomPolicy",
+    "LinUCBPolicy",
+    "ThompsonSamplingPolicy",
+]

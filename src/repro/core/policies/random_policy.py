@@ -1,0 +1,42 @@
+"""Uniformly random hardware selection (the paper's random-guess reference)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.models.base import ArmModel
+from repro.core.policies.base import BanditPolicy, PolicyDecision
+from repro.hardware import HardwareCatalog
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(BanditPolicy):
+    """Pick a hardware configuration uniformly at random every round.
+
+    The paper repeatedly compares BanditWare's accuracy to the random-guess
+    rate (1/3 for the NDP triple, 1/5 for the matmul catalog); this policy
+    makes that reference line an executable baseline rather than a constant.
+    """
+
+    def select(
+        self,
+        context: np.ndarray,
+        models: Sequence[ArmModel],
+        catalog: HardwareCatalog,
+        rng: np.random.Generator,
+    ) -> PolicyDecision:
+        if len(models) != len(catalog):
+            raise ValueError(
+                f"got {len(models)} models for {len(catalog)} hardware configurations"
+            )
+        arm = int(rng.integers(len(catalog)))
+        estimates = self.estimate_runtimes(context, models, catalog)
+        return PolicyDecision(
+            arm_index=arm,
+            hardware=catalog[arm],
+            explored=True,
+            estimates=estimates,
+        )

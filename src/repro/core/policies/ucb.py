@@ -1,0 +1,78 @@
+"""LinUCB-style optimistic selection over the per-arm linear models.
+
+The paper lists "different and more complex contextual bandit algorithms" as
+future work; LinUCB is the canonical next step.  Because BanditWare
+*minimises* runtime, optimism means selecting the arm with the smallest
+*lower* confidence bound ``R̂(H_i, x) − α·σ_i(x)``: an arm we know little
+about gets the benefit of the doubt and is tried sooner.
+
+The uncertainty term comes from each arm model's :meth:`uncertainty` method
+(exact for :class:`~repro.core.models.online_linear.RecursiveLeastSquaresModel`
+and :class:`~repro.core.models.ridge.RidgeModel`; OLS models report ``inf``
+until they are over-determined, which simply forces early exploration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.models.base import ArmModel
+from repro.core.policies.base import BanditPolicy, PolicyDecision
+from repro.hardware import HardwareCatalog
+from repro.utils.validation import check_non_negative
+
+__all__ = ["LinUCBPolicy"]
+
+
+class LinUCBPolicy(BanditPolicy):
+    """Optimism in the face of uncertainty for runtime minimisation.
+
+    Parameters
+    ----------
+    alpha:
+        Width multiplier of the confidence interval.  ``alpha = 0`` collapses
+        to greedy selection on the point estimates.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = check_non_negative(alpha, "alpha")
+
+    def select(
+        self,
+        context: np.ndarray,
+        models: Sequence[ArmModel],
+        catalog: HardwareCatalog,
+        rng: np.random.Generator,
+    ) -> PolicyDecision:
+        if len(models) != len(catalog):
+            raise ValueError(
+                f"got {len(models)} models for {len(catalog)} hardware configurations"
+            )
+        estimates = self.estimate_runtimes(context, models, catalog)
+        scores: Dict[str, float] = {}
+        for hw, model in zip(catalog, models):
+            width = model.uncertainty(context)
+            if np.isinf(width):
+                scores[hw.name] = -np.inf  # never-tried arms win immediately
+            else:
+                scores[hw.name] = estimates[hw.name] - self.alpha * width
+        # Lowest optimistic runtime wins; ties break on catalog order for
+        # determinism, with a random shuffle among exact -inf ties so cold
+        # starts do not always hammer arm 0.
+        best_score = min(scores.values())
+        tied = [name for name, s in scores.items() if s == best_score]
+        if len(tied) > 1 and np.isinf(best_score):
+            chosen_name = tied[int(rng.integers(len(tied)))]
+        else:
+            chosen_name = min(tied, key=catalog.index_of)
+        arm = catalog.index_of(chosen_name)
+        explored = not models[arm].is_fitted
+        return PolicyDecision(
+            arm_index=arm,
+            hardware=catalog[arm],
+            explored=explored,
+            estimates=estimates,
+            detail={f"lcb_{name}": float(score) for name, score in scores.items()},
+        )

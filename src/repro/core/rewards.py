@@ -1,0 +1,134 @@
+"""Reward and regret accounting for the online recommendation loop.
+
+Bandit literature speaks in rewards to maximise; BanditWare minimises
+runtime.  This module keeps that translation in one place and provides the
+per-round regret ledger the evaluation harness and the ablation benchmarks
+consume.
+
+Two regret notions are tracked:
+
+* **runtime regret** -- observed (or expected) runtime on the chosen hardware
+  minus the best expected runtime available for the same workflow; and
+* **decision regret** -- 1 when the chosen hardware differs from the
+  oracle-best hardware, 0 otherwise (the complement of the paper's
+  "accuracy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoundOutcome", "RegretLedger", "runtime_to_reward"]
+
+
+def runtime_to_reward(runtime_seconds: float, scale: float = 1.0) -> float:
+    """Map a runtime to a reward: ``-runtime / scale``.
+
+    A negated (optionally scaled) runtime keeps "higher is better" semantics
+    for policies written in reward terms while preserving the ordering that
+    runtime minimisation needs.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    runtime_seconds = float(runtime_seconds)
+    if not np.isfinite(runtime_seconds) or runtime_seconds < 0:
+        raise ValueError(f"runtime must be finite and non-negative, got {runtime_seconds}")
+    return -runtime_seconds / scale
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Everything observed in one round of the online loop."""
+
+    round_index: int
+    chosen_hardware: str
+    best_hardware: str
+    observed_runtime: float
+    best_expected_runtime: float
+    expected_runtime_on_chosen: float
+    explored: bool
+
+    @property
+    def runtime_regret(self) -> float:
+        """Expected extra seconds paid versus the oracle-best hardware."""
+        return max(self.expected_runtime_on_chosen - self.best_expected_runtime, 0.0)
+
+    @property
+    def correct(self) -> bool:
+        """Whether the chosen hardware matches the oracle-best hardware."""
+        return self.chosen_hardware == self.best_hardware
+
+
+class RegretLedger:
+    """Accumulates per-round outcomes and derives summary curves."""
+
+    def __init__(self) -> None:
+        self._rounds: List[RoundOutcome] = []
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def record(self, outcome: RoundOutcome) -> None:
+        """Append one round's outcome (rounds must arrive in order)."""
+        if self._rounds and outcome.round_index <= self._rounds[-1].round_index:
+            raise ValueError(
+                f"round {outcome.round_index} arrived after round {self._rounds[-1].round_index}"
+            )
+        self._rounds.append(outcome)
+
+    @property
+    def rounds(self) -> List[RoundOutcome]:
+        return list(self._rounds)
+
+    # ------------------------------------------------------------------ #
+    def cumulative_runtime_regret(self) -> np.ndarray:
+        """Cumulative expected runtime regret after each round."""
+        if not self._rounds:
+            return np.empty(0)
+        return np.cumsum([r.runtime_regret for r in self._rounds])
+
+    def accuracy_curve(self, window: Optional[int] = None) -> np.ndarray:
+        """Fraction of correct hardware choices, cumulatively or over a trailing window."""
+        if not self._rounds:
+            return np.empty(0)
+        correct = np.asarray([1.0 if r.correct else 0.0 for r in self._rounds])
+        if window is None:
+            return np.cumsum(correct) / np.arange(1, len(correct) + 1)
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        out = np.empty_like(correct)
+        for i in range(len(correct)):
+            lo = max(0, i - window + 1)
+            out[i] = correct[lo : i + 1].mean()
+        return out
+
+    def exploration_fraction(self) -> float:
+        """Fraction of rounds whose arm was chosen by exploration."""
+        if not self._rounds:
+            return 0.0
+        return float(np.mean([1.0 if r.explored else 0.0 for r in self._rounds]))
+
+    def total_observed_runtime(self) -> float:
+        """Sum of observed runtimes across all rounds (seconds)."""
+        return float(sum(r.observed_runtime for r in self._rounds))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports and tests."""
+        if not self._rounds:
+            return {
+                "rounds": 0,
+                "accuracy": 0.0,
+                "cumulative_regret": 0.0,
+                "exploration_fraction": 0.0,
+                "total_runtime": 0.0,
+            }
+        return {
+            "rounds": float(len(self._rounds)),
+            "accuracy": float(self.accuracy_curve()[-1]),
+            "cumulative_regret": float(self.cumulative_runtime_regret()[-1]),
+            "exploration_fraction": self.exploration_fraction(),
+            "total_runtime": self.total_observed_runtime(),
+        }

@@ -1,0 +1,167 @@
+"""Tolerant hardware selection (the exploitation branch of Algorithm 1).
+
+Given estimated runtimes for every hardware configuration, the paper's
+exploitation step is:
+
+1. find the estimated-fastest configuration ``H_fastest``;
+2. compute the tolerance threshold
+   ``R_limit = (1 + tolerance_ratio) · R̂(H_fastest, x) + tolerance_seconds``;
+3. among all configurations with ``R̂(H_i, x) ≤ R_limit``, choose the one with
+   the most resource efficiency.
+
+Setting both tolerance parameters to zero makes the selection purely
+runtime-optimal; non-zero values trade a bounded slowdown for lighter-weight
+hardware, which is what Figures 11 and 12 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware import HardwareCatalog, HardwareConfig, ResourceCostModel
+from repro.utils.validation import check_non_negative
+
+__all__ = ["ToleranceConfig", "TolerantSelector", "SelectionOutcome"]
+
+
+@dataclass(frozen=True)
+class ToleranceConfig:
+    """The two tolerance knobs of Algorithm 1.
+
+    Attributes
+    ----------
+    ratio:
+        ``tolerance_ratio`` (``tr``): allowed *relative* slowdown over the
+        estimated-fastest runtime (0.05 = 5 %).
+    seconds:
+        ``tolerance_seconds`` (``ts``): allowed *absolute* extra seconds.
+    """
+
+    ratio: float = 0.0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.ratio, "tolerance ratio")
+        check_non_negative(self.seconds, "tolerance seconds")
+
+    def limit(self, fastest_estimate: float) -> float:
+        """``R_limit`` for a given estimated-fastest runtime."""
+        return (1.0 + self.ratio) * fastest_estimate + self.seconds
+
+    @property
+    def is_strict(self) -> bool:
+        """True when both tolerances are zero (pure runtime minimisation)."""
+        return self.ratio == 0.0 and self.seconds == 0.0
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """The result of one tolerant selection, with its full explanation.
+
+    Attributes
+    ----------
+    chosen:
+        The selected hardware configuration.
+    fastest:
+        The estimated-fastest configuration.
+    estimates:
+        ``{hardware_name: estimated runtime}`` used for the decision.
+    limit:
+        The tolerance threshold ``R_limit``.
+    candidates:
+        Names of configurations whose estimates fell within the threshold.
+    """
+
+    chosen: HardwareConfig
+    fastest: HardwareConfig
+    estimates: Dict[str, float]
+    limit: float
+    candidates: List[str]
+
+    @property
+    def traded_runtime(self) -> float:
+        """Extra estimated seconds accepted relative to the fastest option."""
+        return self.estimates[self.chosen.name] - self.estimates[self.fastest.name]
+
+
+class TolerantSelector:
+    """Implements the tolerant selection strategy of Algorithm 1.
+
+    Parameters
+    ----------
+    tolerance:
+        The ratio/seconds tolerance pair (defaults to strict selection).
+    cost_model:
+        Resource-efficiency scoring used to pick among near-fastest
+        candidates; defaults to the standard CPU+memory footprint.
+    """
+
+    def __init__(
+        self,
+        tolerance: Optional[ToleranceConfig] = None,
+        cost_model: Optional[ResourceCostModel] = None,
+    ):
+        self.tolerance = tolerance or ToleranceConfig()
+        self.cost_model = cost_model or ResourceCostModel()
+
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        catalog: HardwareCatalog,
+        estimates: Dict[str, float] | Sequence[float] | np.ndarray,
+    ) -> SelectionOutcome:
+        """Apply tolerant selection to runtime ``estimates``.
+
+        Parameters
+        ----------
+        catalog:
+            The hardware configurations under consideration.
+        estimates:
+            Either a mapping ``{hardware_name: runtime}`` or a sequence whose
+            order matches the catalog's arm order.
+
+        Returns
+        -------
+        SelectionOutcome
+            The chosen configuration plus the decision's full audit trail.
+        """
+        est = self._normalise_estimates(catalog, estimates)
+        fastest_name = min(est, key=lambda name: (est[name], catalog.index_of(name)))
+        fastest = catalog[fastest_name]
+        limit = self.tolerance.limit(est[fastest_name])
+        candidates = [hw for hw in catalog if est[hw.name] <= limit]
+        if not candidates:  # numerical guard: the fastest always qualifies
+            candidates = [fastest]
+        chosen = self.cost_model.most_efficient(candidates)
+        return SelectionOutcome(
+            chosen=chosen,
+            fastest=fastest,
+            estimates=est,
+            limit=limit,
+            candidates=[hw.name for hw in candidates],
+        )
+
+    @staticmethod
+    def _normalise_estimates(
+        catalog: HardwareCatalog,
+        estimates: Dict[str, float] | Sequence[float] | np.ndarray,
+    ) -> Dict[str, float]:
+        if isinstance(estimates, dict):
+            missing = [name for name in catalog.names if name not in estimates]
+            if missing:
+                raise KeyError(f"estimates missing hardware {missing}")
+            est = {name: float(estimates[name]) for name in catalog.names}
+        else:
+            values = np.asarray(estimates, dtype=float).ravel()
+            if values.shape[0] != len(catalog):
+                raise ValueError(
+                    f"expected {len(catalog)} estimates, got {values.shape[0]}"
+                )
+            est = {name: float(v) for name, v in zip(catalog.names, values)}
+        bad = {k: v for k, v in est.items() if not np.isfinite(v)}
+        if bad:
+            raise ValueError(f"runtime estimates must be finite, got {bad}")
+        return est

@@ -1,0 +1,30 @@
+"""A lightweight columnar data-frame substrate.
+
+The BanditWare paper ingests application run history "as a Python pandas
+dataframe" (Section 3.1).  pandas is not available in this offline
+environment, so this package provides the small subset of data-frame
+functionality the framework actually needs:
+
+* :class:`~repro.dataframe.series.Series` -- a named, typed 1-D column backed
+  by a NumPy array, with element-wise arithmetic, comparisons and reductions.
+* :class:`~repro.dataframe.frame.DataFrame` -- an ordered mapping of equal
+  length columns supporting row/column selection, boolean masking, sorting,
+  assignment, concatenation, merging and group-by aggregation.
+* :mod:`~repro.dataframe.io` -- CSV reading and writing with type inference.
+* :mod:`~repro.dataframe.groupby` -- split/apply/combine aggregation.
+* :mod:`~repro.dataframe.ops` -- helpers (``concat``, ``merge``) mirroring the
+  module-level pandas functions the paper's pipeline relies on (Figure 1 shows
+  per-hardware frames being *merged* into a single training table).
+
+This is intentionally *not* a pandas re-implementation: only operations used
+by the reproduction (plus the obvious conveniences needed to test them) are
+provided, and every operation is eagerly evaluated on NumPy arrays.
+"""
+
+from repro.dataframe.series import Series
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.groupby import GroupBy
+from repro.dataframe.ops import concat, merge
+from repro.dataframe.io import read_csv, write_csv
+
+__all__ = ["Series", "DataFrame", "GroupBy", "concat", "merge", "read_csv", "write_csv"]

@@ -1,0 +1,145 @@
+"""Split/apply/combine aggregation for :class:`repro.dataframe.DataFrame`.
+
+The BanditWare pipeline groups run history by hardware configuration
+(Figure 1: per-hardware sub-frames), computes per-group statistics (mean
+runtime, counts) and re-assembles a summary frame.  :class:`GroupBy`
+implements exactly that split/apply/combine cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["GroupBy"]
+
+_BUILTIN_AGGS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda a: float(np.mean(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "min": lambda a: float(np.min(a)),
+    "max": lambda a: float(np.max(a)),
+    "std": lambda a: float(np.std(a, ddof=1)) if len(a) > 1 else 0.0,
+    "var": lambda a: float(np.var(a, ddof=1)) if len(a) > 1 else 0.0,
+    "median": lambda a: float(np.median(a)),
+    "count": lambda a: float(len(a)),
+    "first": lambda a: a[0],
+    "last": lambda a: a[-1],
+}
+
+
+class GroupBy:
+    """Rows of a frame grouped by one or more key columns.
+
+    Instances are created via :meth:`repro.dataframe.DataFrame.groupby`.
+    Group order follows first appearance of each key combination.
+    """
+
+    def __init__(self, frame, keys: Sequence[str]):
+        from repro.dataframe.frame import DataFrame  # local import to avoid cycle
+
+        if not keys:
+            raise ValueError("groupby requires at least one key column")
+        for key in keys:
+            if key not in frame:
+                raise KeyError(f"groupby key {key!r} is not a column; available: {frame.columns}")
+        self._frame: DataFrame = frame
+        self._keys = list(keys)
+        self._groups: Dict[Tuple[Any, ...], List[int]] = {}
+        key_columns = [frame[k].values for k in self._keys]
+        for i in range(len(frame)):
+            key = tuple(col[i] for col in key_columns)
+            self._groups.setdefault(key, []).append(i)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> List[str]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> Dict[Tuple[Any, ...], List[int]]:
+        """Return ``{key_tuple: row_indices}``."""
+        return {k: list(v) for k, v in self._groups.items()}
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[Any, ...], Any]]:
+        """Yield ``(key_tuple, sub_frame)`` pairs in first-appearance order."""
+        for key, indices in self._groups.items():
+            yield key, self._frame.take(indices)
+
+    def get_group(self, key: Union[Any, Tuple[Any, ...]]):
+        """Return the sub-frame for ``key`` (scalar allowed for single-key groupbys)."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        if key not in self._groups:
+            raise KeyError(f"no group {key!r}; groups: {list(self._groups.keys())}")
+        return self._frame.take(self._groups[key])
+
+    def size(self) -> Dict[Tuple[Any, ...], int]:
+        """Return group sizes keyed by key tuple."""
+        return {k: len(v) for k, v in self._groups.items()}
+
+    # ------------------------------------------------------------------ #
+    def agg(self, spec: Mapping[str, Union[str, Callable[[np.ndarray], Any]]]):
+        """Aggregate value columns per group.
+
+        Parameters
+        ----------
+        spec:
+            ``{column_name: aggregation}`` where aggregation is either a name
+            from ``mean/sum/min/max/std/var/median/count/first/last`` or a
+            callable taking the group's values array.
+
+        Returns
+        -------
+        DataFrame
+            One row per group with the key columns followed by aggregated
+            columns named ``"{column}_{agg}"`` (or ``"{column}"`` when the
+            aggregation is a callable).
+        """
+        from repro.dataframe.frame import DataFrame
+
+        rows: List[Dict[str, Any]] = []
+        for key, indices in self._groups.items():
+            row: Dict[str, Any] = {k: v for k, v in zip(self._keys, key)}
+            for column, how in spec.items():
+                values = self._frame[column].values[np.asarray(indices, dtype=int)]
+                if callable(how):
+                    row[column] = how(values)
+                else:
+                    if how not in _BUILTIN_AGGS:
+                        raise ValueError(
+                            f"unknown aggregation {how!r}; choose from {sorted(_BUILTIN_AGGS)}"
+                        )
+                    numeric = values.astype(float) if how not in ("first", "last", "count") else values
+                    row[f"{column}_{how}"] = _BUILTIN_AGGS[how](numeric)
+            rows.append(row)
+        return DataFrame.from_records(rows)
+
+    def mean(self, columns: Sequence[str]):
+        """Per-group means of ``columns``."""
+        return self.agg({c: "mean" for c in columns})
+
+    def count(self):
+        """Per-group row counts as a frame with a ``count`` column."""
+        from repro.dataframe.frame import DataFrame
+
+        rows = [
+            {**{k: v for k, v in zip(self._keys, key)}, "count": len(indices)}
+            for key, indices in self._groups.items()
+        ]
+        return DataFrame.from_records(rows)
+
+    def apply(self, func: Callable[[Any], Mapping[str, Any]]):
+        """Apply ``func`` to each group's sub-frame; combine returned dicts into a frame."""
+        from repro.dataframe.frame import DataFrame
+
+        rows = []
+        for key, indices in self._groups.items():
+            sub = self._frame.take(indices)
+            result = dict(func(sub))
+            row = {k: v for k, v in zip(self._keys, key)}
+            row.update(result)
+            rows.append(row)
+        return DataFrame.from_records(rows)

@@ -1,0 +1,134 @@
+"""Module-level frame operations: concatenation and merging.
+
+Figure 1 of the paper shows per-hardware run tables being *merged* into a
+single training table keyed by run ID.  :func:`merge` implements the inner /
+left / outer hash joins needed for that step, and :func:`concat` stacks
+per-hardware frames row-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+
+__all__ = ["concat", "merge"]
+
+
+def concat(frames: Sequence[DataFrame], fill_value: Any = np.nan) -> DataFrame:
+    """Stack frames row-wise.
+
+    Columns are the union of all input columns (in first-appearance order);
+    missing values are filled with ``fill_value``.
+    """
+    frames = [f for f in frames if f is not None]
+    if not frames:
+        return DataFrame({})
+    columns: List[str] = []
+    for frame in frames:
+        for name in frame.columns:
+            if name not in columns:
+                columns.append(name)
+    data: Dict[str, list] = {name: [] for name in columns}
+    for frame in frames:
+        n = len(frame)
+        for name in columns:
+            if name in frame:
+                data[name].extend(frame[name].to_list())
+            else:
+                data[name].extend([fill_value] * n)
+    return DataFrame({name: np.asarray(values) for name, values in data.items()})
+
+
+def _validate_merge_keys(left: DataFrame, right: DataFrame, on: Sequence[str]) -> None:
+    for key in on:
+        if key not in left:
+            raise KeyError(f"merge key {key!r} missing from left frame; columns: {left.columns}")
+        if key not in right:
+            raise KeyError(f"merge key {key!r} missing from right frame; columns: {right.columns}")
+
+
+def merge(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str] | str,
+    how: str = "inner",
+    suffixes: Tuple[str, str] = ("_x", "_y"),
+) -> DataFrame:
+    """Join two frames on key column(s).
+
+    Parameters
+    ----------
+    left, right:
+        Frames to join.
+    on:
+        Key column name or list of names present in both frames.
+    how:
+        ``"inner"``, ``"left"`` or ``"outer"``.
+    suffixes:
+        Appended to overlapping non-key column names from the left and right
+        frame respectively.
+
+    Returns
+    -------
+    DataFrame
+        The joined frame.  Row order follows the left frame (then unmatched
+        right rows for ``how="outer"``).  Unmatched cells are ``nan``.
+    """
+    if isinstance(on, str):
+        on = [on]
+    on = list(on)
+    if how not in ("inner", "left", "outer"):
+        raise ValueError(f"how must be 'inner', 'left' or 'outer', got {how!r}")
+    _validate_merge_keys(left, right, on)
+
+    left_value_cols = [c for c in left.columns if c not in on]
+    right_value_cols = [c for c in right.columns if c not in on]
+    overlap = set(left_value_cols) & set(right_value_cols)
+    left_names = {c: (c + suffixes[0] if c in overlap else c) for c in left_value_cols}
+    right_names = {c: (c + suffixes[1] if c in overlap else c) for c in right_value_cols}
+
+    right_index: Dict[Tuple[Any, ...], List[int]] = {}
+    right_keys = [right[k].values for k in on]
+    for j in range(len(right)):
+        key = tuple(col[j] for col in right_keys)
+        right_index.setdefault(key, []).append(j)
+
+    out_columns = on + [left_names[c] for c in left_value_cols] + [right_names[c] for c in right_value_cols]
+    rows: List[Dict[str, Any]] = []
+    matched_right: set = set()
+
+    left_keys = [left[k].values for k in on]
+    for i in range(len(left)):
+        key = tuple(col[i] for col in left_keys)
+        left_row = left.row(i)
+        matches = right_index.get(key, [])
+        if matches:
+            for j in matches:
+                matched_right.add(j)
+                right_row = right.row(j)
+                row = {k: left_row[k] for k in on}
+                row.update({left_names[c]: left_row[c] for c in left_value_cols})
+                row.update({right_names[c]: right_row[c] for c in right_value_cols})
+                rows.append(row)
+        elif how in ("left", "outer"):
+            row = {k: left_row[k] for k in on}
+            row.update({left_names[c]: left_row[c] for c in left_value_cols})
+            row.update({right_names[c]: np.nan for c in right_value_cols})
+            rows.append(row)
+
+    if how == "outer":
+        for j in range(len(right)):
+            if j in matched_right:
+                continue
+            right_row = right.row(j)
+            row = {k: right_row[k] for k in on}
+            row.update({left_names[c]: np.nan for c in left_value_cols})
+            row.update({right_names[c]: right_row[c] for c in right_value_cols})
+            rows.append(row)
+
+    if not rows:
+        return DataFrame({name: np.asarray([]) for name in out_columns})
+    return DataFrame.from_records(rows, columns=out_columns)

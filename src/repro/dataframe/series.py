@@ -1,0 +1,229 @@
+"""A named 1-D column backed by a NumPy array."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Series"]
+
+_BINARY_NUMPY_OPS = {
+    "__add__": np.add,
+    "__sub__": np.subtract,
+    "__mul__": np.multiply,
+    "__truediv__": np.true_divide,
+    "__floordiv__": np.floor_divide,
+    "__mod__": np.mod,
+    "__pow__": np.power,
+}
+
+_COMPARISON_OPS = {
+    "__eq__": np.equal,
+    "__ne__": np.not_equal,
+    "__lt__": np.less,
+    "__le__": np.less_equal,
+    "__gt__": np.greater,
+    "__ge__": np.greater_equal,
+}
+
+
+class Series:
+    """A named, immutable-length column of homogeneous values.
+
+    Parameters
+    ----------
+    data:
+        Any sequence convertible to a 1-D NumPy array.  Object (string)
+        columns are supported; numeric columns are stored as ``float64`` or
+        ``int64`` depending on the input.
+    name:
+        Column name.  Defaults to ``""``.
+
+    Notes
+    -----
+    Unlike pandas there is no index: positional integer indexing only.  All
+    element-wise operators return new :class:`Series` (or plain NumPy arrays
+    of bools for comparisons used as masks).
+    """
+
+    __array_priority__ = 100  # make numpy defer to our reflected operators
+
+    def __init__(self, data: Union[Sequence[Any], np.ndarray], name: str = ""):
+        arr = np.asarray(data)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if arr.ndim != 1:
+            raise ValueError(f"Series data must be 1-D, got shape {arr.shape}")
+        # Normalise string-ish columns to object dtype so mixed content works.
+        if arr.dtype.kind in ("U", "S"):
+            arr = arr.astype(object)
+        self._values = arr
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying NumPy array (a view, not a copy)."""
+        return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            return self._values[int(key)]
+        if isinstance(key, slice):
+            return Series(self._values[key], name=self.name)
+        key_arr = np.asarray(key)
+        return Series(self._values[key_arr], name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(repr(v) for v in self._values[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Series(name={self.name!r}, n={len(self)}, [{head}{suffix}])"
+
+    def copy(self) -> "Series":
+        return Series(self._values.copy(), name=self.name)
+
+    def rename(self, name: str) -> "Series":
+        return Series(self._values, name=name)
+
+    def astype(self, dtype) -> "Series":
+        return Series(self._values.astype(dtype), name=self.name)
+
+    def to_list(self) -> list:
+        return self._values.tolist()
+
+    def to_numpy(self, dtype=None) -> np.ndarray:
+        if dtype is None:
+            return self._values.copy()
+        return self._values.astype(dtype)
+
+    # ------------------------------------------------------------------ #
+    # Element-wise arithmetic and comparisons
+    # ------------------------------------------------------------------ #
+    def _coerce_other(self, other):
+        if isinstance(other, Series):
+            if len(other) != len(self):
+                raise ValueError(
+                    f"cannot align series of length {len(self)} and {len(other)}"
+                )
+            return other._values
+        return other
+
+    def map(self, func: Callable[[Any], Any]) -> "Series":
+        """Apply ``func`` element-wise (Python-level loop, object-safe)."""
+        return Series(np.asarray([func(v) for v in self._values]), name=self.name)
+
+    def isin(self, values: Iterable[Any]) -> np.ndarray:
+        """Boolean mask of membership in ``values``."""
+        values = set(values)
+        return np.asarray([v in values for v in self._values], dtype=bool)
+
+    def unique(self) -> np.ndarray:
+        """Unique values in first-appearance order."""
+        seen: dict = {}
+        for v in self._values:
+            if v not in seen:
+                seen[v] = None
+        return np.asarray(list(seen.keys()))
+
+    def value_counts(self) -> dict:
+        """Return ``{value: count}`` sorted by descending count."""
+        counts: dict = {}
+        for v in self._values:
+            counts[v] = counts.get(v, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    # Reductions ---------------------------------------------------------
+    def sum(self) -> float:
+        return float(np.sum(self._values.astype(float)))
+
+    def mean(self) -> float:
+        return float(np.mean(self._values.astype(float)))
+
+    def std(self, ddof: int = 1) -> float:
+        return float(np.std(self._values.astype(float), ddof=ddof))
+
+    def var(self, ddof: int = 1) -> float:
+        return float(np.var(self._values.astype(float), ddof=ddof))
+
+    def min(self):
+        return self._values.min()
+
+    def max(self):
+        return self._values.max()
+
+    def median(self) -> float:
+        return float(np.median(self._values.astype(float)))
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self._values.astype(float), q))
+
+    def argmin(self) -> int:
+        return int(np.argmin(self._values))
+
+    def argmax(self) -> int:
+        return int(np.argmax(self._values))
+
+    # ------------------------------------------------------------------ #
+    # Hashing must be disabled because __eq__ is element-wise.
+    # ------------------------------------------------------------------ #
+    __hash__ = None  # type: ignore[assignment]
+
+
+def _make_binary(name: str, ufunc: np.ufunc) -> Callable:
+    def method(self: Series, other):
+        result = ufunc(self._values, self._coerce_other(other))
+        return Series(result, name=self.name)
+
+    method.__name__ = name
+    return method
+
+
+def _make_reflected(name: str, ufunc: np.ufunc) -> Callable:
+    def method(self: Series, other):
+        result = ufunc(self._coerce_other(other), self._values)
+        return Series(result, name=self.name)
+
+    method.__name__ = name
+    return method
+
+
+def _make_comparison(name: str, ufunc: np.ufunc) -> Callable:
+    def method(self: Series, other):
+        return np.asarray(ufunc(self._values, self._coerce_other(other)), dtype=bool)
+
+    method.__name__ = name
+    return method
+
+
+for _name, _ufunc in _BINARY_NUMPY_OPS.items():
+    setattr(Series, _name, _make_binary(_name, _ufunc))
+    _rname = "__r" + _name[2:]
+    setattr(Series, _rname, _make_reflected(_rname, _ufunc))
+
+for _name, _ufunc in _COMPARISON_OPS.items():
+    setattr(Series, _name, _make_comparison(_name, _ufunc))
+
+
+def _neg(self: Series) -> Series:
+    return Series(-self._values, name=self.name)
+
+
+def _abs(self: Series) -> Series:
+    return Series(np.abs(self._values), name=self.name)
+
+
+Series.__neg__ = _neg  # type: ignore[attr-defined]
+Series.__abs__ = _abs  # type: ignore[attr-defined]

@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, replicated online simulations and reporting.
+
+The paper's figures are all built from the same protocol: run Algorithm 1 for
+``n_rounds`` rounds, repeat the whole run ``n_sim`` times, and after every
+round score the bandit's current per-arm models against the full historical
+dataset (RMSE) and against the ground-truth best hardware (accuracy), with
+the full-data fit as the reference line.  This package implements that
+protocol once so every benchmark and example reuses it.
+
+* :mod:`~repro.evaluation.metrics` -- RMSE, MAE, R², selection accuracy,
+  regret summaries.
+* :mod:`~repro.evaluation.simulation` -- the replicated online simulation
+  (:class:`OnlineSimulation`) and its result container.
+* :mod:`~repro.evaluation.experiment` -- pre-configured experiment
+  definitions matching each of the paper's figures.
+* :mod:`~repro.evaluation.reporting` -- plain-text rendering of the series
+  and tables the paper plots.
+"""
+
+from repro.evaluation.metrics import (
+    accuracy_score,
+    mae,
+    mape,
+    r2_score,
+    rmse,
+    selection_accuracy,
+)
+from repro.evaluation.simulation import (
+    OnlineSimulation,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.evaluation.experiment import (
+    EXPERIMENT_NAMES,
+    ExperimentDefinition,
+    ExperimentResult,
+    build_experiment,
+    run_experiment,
+)
+from repro.evaluation.reporting import (
+    format_metric_table,
+    format_series,
+    format_summary,
+)
+
+__all__ = [
+    "rmse",
+    "mae",
+    "mape",
+    "r2_score",
+    "accuracy_score",
+    "selection_accuracy",
+    "OnlineSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "EXPERIMENT_NAMES",
+    "ExperimentDefinition",
+    "ExperimentResult",
+    "build_experiment",
+    "run_experiment",
+    "format_series",
+    "format_metric_table",
+    "format_summary",
+]

@@ -1,0 +1,113 @@
+"""Plain-text rendering of result series and metric tables.
+
+The paper communicates its results as figures; in a terminal-only
+reproduction the equivalent artefact is a formatted table of the same series
+(round, mean RMSE, spread, accuracy) plus the reference lines.  Benchmarks
+print these tables so ``pytest benchmarks/ --benchmark-only -s`` regenerates
+every figure's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.simulation import SimulationResult
+
+__all__ = ["format_series", "format_metric_table", "format_summary", "format_histogram"]
+
+
+def _format_cell(value, width: int = 12, precision: int = 4) -> str:
+    if isinstance(value, (int, np.integer)):
+        return f"{value:>{width}d}"
+    if isinstance(value, (float, np.floating)):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:>{width}.4g}"
+        return f"{value:>{width}.{precision}f}"
+    return f"{str(value):>{width}}"
+
+
+def format_metric_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = " ".join(f"{name:>12}" for name in columns)
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for row in rows:
+        lines.append(" ".join(_format_cell(row.get(name, "")) for name in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    result: SimulationResult,
+    every: int = 5,
+    title: str = "",
+) -> str:
+    """Render a simulation result as the per-round table the figures plot.
+
+    ``every`` controls row density (every N-th round plus the final round).
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    rounds = result.rounds
+    keep = [i for i in range(len(rounds)) if (i + 1) % every == 0 or i == 0 or i == len(rounds) - 1]
+    rows = []
+    mean_rmse, std_rmse = result.mean_rmse(), result.std_rmse()
+    mean_acc, std_acc = result.mean_accuracy(), result.std_accuracy()
+    for i in keep:
+        rows.append(
+            {
+                "round": int(rounds[i]),
+                "rmse_mean": float(mean_rmse[i]),
+                "rmse_std": float(std_rmse[i]),
+                "acc_mean": float(mean_acc[i]),
+                "acc_std": float(std_acc[i]),
+            }
+        )
+    table = format_metric_table(rows, title=title)
+    footer = (
+        f"\nreference (full fit): rmse={result.reference_rmse:.4f} "
+        f"accuracy={result.reference_accuracy:.4f} | random accuracy={result.random_accuracy:.4f}"
+    )
+    return table + footer
+
+
+def format_summary(summary: Mapping[str, float], title: str = "") -> str:
+    """Render a ``{name: value}`` summary as aligned key/value lines."""
+    width = max((len(k) for k in summary), default=0)
+    lines = [title] if title else []
+    for key, value in summary.items():
+        if isinstance(value, (float, np.floating)):
+            lines.append(f"{key:<{width}} : {value:.6g}")
+        else:
+            lines.append(f"{key:<{width}} : {value}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """A small ASCII histogram (used for the RMSE/R² distributions of Figures 5 and 8)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("histogram requires at least one value")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:>10.4g}, {hi:>10.4g}) {count:>5d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Resource-efficiency scoring used by tolerant selection.
+
+Algorithm 1's exploitation branch does not simply pick the estimated-fastest
+hardware: it builds the tolerance threshold ``R_limit`` and, among all
+configurations whose estimated runtime is within the threshold, chooses "the
+one with the most resource efficiency".  The paper does not pin down a single
+formula, so this module provides a configurable :class:`ResourceCostModel`
+whose default matches the intuitive reading -- fewer CPUs and less memory are
+"cheaper", so among near-equally-fast configurations the smallest allocation
+wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hardware.catalog import HardwareCatalog
+from repro.hardware.config import HardwareConfig
+
+__all__ = ["ResourceCostModel", "resource_footprint", "rank_by_efficiency"]
+
+
+def resource_footprint(config: HardwareConfig, cpu_weight: float = 1.0, memory_weight: float = 0.125, gpu_weight: float = 8.0) -> float:
+    """A scalar "amount of resources" score (lower = more efficient to hold).
+
+    The default weights express memory in CPU-equivalents (8 GiB ~ 1 CPU) and
+    GPUs as 8 CPU-equivalents, which reproduces the orderings implied by the
+    paper (H0=(2,16) is the most efficient NDP configuration, H1=(3,24) the
+    middle one, H2=(4,16) uses the most CPU).
+    """
+    return (
+        cpu_weight * config.cpus
+        + memory_weight * config.memory_gb
+        + gpu_weight * config.gpus
+    )
+
+
+@dataclass(frozen=True)
+class ResourceCostModel:
+    """Weighted resource footprint used to break ties toward efficient hardware.
+
+    Parameters
+    ----------
+    cpu_weight, memory_weight, gpu_weight:
+        Relative weights of each resource dimension.
+    """
+
+    cpu_weight: float = 1.0
+    memory_weight: float = 0.125
+    gpu_weight: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_weight", "memory_weight", "gpu_weight"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+
+    def footprint(self, config: HardwareConfig) -> float:
+        """Scalar footprint of ``config`` (lower is more resource-efficient)."""
+        return resource_footprint(
+            config,
+            cpu_weight=self.cpu_weight,
+            memory_weight=self.memory_weight,
+            gpu_weight=self.gpu_weight,
+        )
+
+    def occupancy_cost(self, config: HardwareConfig, seconds: float) -> float:
+        """Footprint integrated over a run's duration (resource-seconds)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return self.footprint(config) * seconds
+
+    def most_efficient(self, candidates: Sequence[HardwareConfig]) -> HardwareConfig:
+        """Return the candidate with the smallest footprint.
+
+        Ties break toward fewer CPUs, then less memory, then name, so the
+        choice is deterministic.
+        """
+        if not candidates:
+            raise ValueError("candidates must be a non-empty sequence")
+        return min(
+            candidates,
+            key=lambda c: (self.footprint(c), c.cpus, c.memory_gb, c.name),
+        )
+
+    def rank(self, catalog: HardwareCatalog | Sequence[HardwareConfig]) -> List[HardwareConfig]:
+        """All configurations sorted from most to least resource-efficient."""
+        configs = list(catalog)
+        return sorted(
+            configs,
+            key=lambda c: (self.footprint(c), c.cpus, c.memory_gb, c.name),
+        )
+
+
+def rank_by_efficiency(catalog: HardwareCatalog | Sequence[HardwareConfig]) -> List[HardwareConfig]:
+    """Rank configurations using the default :class:`ResourceCostModel`."""
+    return ResourceCostModel().rank(catalog)

@@ -1,0 +1,201 @@
+"""The recommendation service wiring BanditWare to the platform and the cluster."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.banditware import BanditWare, Recommendation
+from repro.core.selection import ToleranceConfig
+from repro.hardware import HardwareCatalog, HardwareConfig
+from repro.integration.ndp import ApplicationRegistry, RunHistoryStore
+from repro.utils.logging import EventLog, NullLog
+from repro.utils.rng import SeedLike
+from repro.workloads.base import RunRecord
+
+__all__ = ["WorkflowTicket", "RecommendationService"]
+
+
+@dataclass
+class WorkflowTicket:
+    """A submitted workflow awaiting completion.
+
+    Attributes
+    ----------
+    ticket_id:
+        Opaque identifier returned by :meth:`RecommendationService.submit_workflow`.
+    application:
+        Application the workflow belongs to.
+    features:
+        The workflow's context features.
+    recommendation:
+        BanditWare's recommendation for this workflow.
+    completed:
+        Whether :meth:`RecommendationService.complete_workflow` has been called.
+    observed_runtime:
+        The runtime reported at completion, if any.
+    """
+
+    ticket_id: str
+    application: str
+    features: Dict[str, float]
+    recommendation: Recommendation
+    completed: bool = False
+    observed_runtime: Optional[float] = None
+
+
+class RecommendationService:
+    """Per-application BanditWare recommenders behind a platform-style API.
+
+    The service owns one :class:`~repro.core.BanditWare` instance per
+    registered application (each application has its own feature space and its
+    own runtime behaviour), a shared hardware catalog, the run-history store,
+    and optionally a cluster backend used by :meth:`run_workflow` to execute
+    the recommendation end to end.
+
+    Parameters
+    ----------
+    catalog:
+        Hardware configurations the platform can allocate.
+    registry:
+        Application registry (created empty when omitted).
+    history:
+        Run-history store (created empty when omitted).
+    tolerance:
+        Default tolerance configuration applied to every application's
+        recommender.
+    seed:
+        Seed shared by the per-application recommenders' exploration.
+    log:
+        Optional event log of service decisions.
+    """
+
+    def __init__(
+        self,
+        catalog: HardwareCatalog,
+        registry: Optional[ApplicationRegistry] = None,
+        history: Optional[RunHistoryStore] = None,
+        tolerance: Optional[ToleranceConfig] = None,
+        seed: SeedLike = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.catalog = catalog
+        self.registry = registry or ApplicationRegistry()
+        self.history = history or RunHistoryStore()
+        self.tolerance = tolerance or ToleranceConfig()
+        self._seed = seed
+        self.log = log if log is not None else NullLog()
+        self._recommenders: Dict[str, BanditWare] = {}
+        self._tickets: Dict[str, WorkflowTicket] = {}
+        self._ticket_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    def register_application(
+        self,
+        name: str,
+        owner: str,
+        feature_names: Sequence[str],
+        description: str = "",
+        warm_start_history: bool = True,
+    ) -> BanditWare:
+        """Register an application and create its recommender.
+
+        When ``warm_start_history`` is true and the history store already
+        contains runs of this application, they seed the recommender's per-arm
+        models before any online recommendation is made.
+        """
+        info = self.registry.register(name, owner, feature_names, description)
+        recommender = BanditWare(
+            catalog=self.catalog,
+            feature_names=list(info.feature_names),
+            tolerance=self.tolerance,
+            seed=self._seed,
+        )
+        if warm_start_history and self.history.records_for(name):
+            frame = self.history.frame_for(name)
+            ingested = recommender.warm_start(frame)
+            self.log.record("service", "warm_start", application=name, rows=ingested)
+        self._recommenders[name] = recommender
+        self.log.record("service", "application_registered", application=name, owner=owner)
+        return recommender
+
+    def recommender_for(self, application: str) -> BanditWare:
+        """The BanditWare instance serving one application."""
+        if application not in self._recommenders:
+            raise KeyError(
+                f"application {application!r} has no recommender; register it first"
+            )
+        return self._recommenders[application]
+
+    # ------------------------------------------------------------------ #
+    def submit_workflow(self, application: str, features: Dict[str, float]) -> WorkflowTicket:
+        """Ask for a hardware recommendation for one incoming workflow."""
+        recommender = self.recommender_for(application)
+        recommendation = recommender.recommend(features)
+        ticket = WorkflowTicket(
+            ticket_id=f"wf-{next(self._ticket_counter):06d}",
+            application=application,
+            features={k: float(v) for k, v in features.items()},
+            recommendation=recommendation,
+        )
+        self._tickets[ticket.ticket_id] = ticket
+        self.log.record(
+            "service",
+            "recommendation",
+            ticket=ticket.ticket_id,
+            application=application,
+            hardware=recommendation.hardware.name,
+            explored=recommendation.explored,
+        )
+        return ticket
+
+    def complete_workflow(self, ticket_id: str, runtime_seconds: float) -> None:
+        """Report a workflow's observed runtime so the recommender can learn."""
+        if ticket_id not in self._tickets:
+            raise KeyError(f"unknown ticket {ticket_id!r}")
+        ticket = self._tickets[ticket_id]
+        if ticket.completed:
+            raise ValueError(f"ticket {ticket_id!r} was already completed")
+        recommender = self.recommender_for(ticket.application)
+        recommender.observe(ticket.features, ticket.recommendation.hardware, runtime_seconds)
+        ticket.completed = True
+        ticket.observed_runtime = float(runtime_seconds)
+        self.history.add(
+            RunRecord(
+                run_id=ticket.ticket_id,
+                application=ticket.application,
+                hardware=ticket.recommendation.hardware.name,
+                runtime_seconds=float(runtime_seconds),
+                features=ticket.features,
+            )
+        )
+        self.log.record(
+            "service",
+            "workflow_completed",
+            ticket=ticket_id,
+            runtime=float(runtime_seconds),
+        )
+
+    def run_workflow(
+        self,
+        application: str,
+        features: Dict[str, float],
+        cluster: ClusterSimulator,
+    ) -> WorkflowTicket:
+        """End-to-end convenience: recommend, execute on the cluster, learn."""
+        ticket = self.submit_workflow(application, features)
+        run = cluster.run_workload(features, ticket.recommendation.hardware)
+        self.complete_workflow(ticket.ticket_id, run.record.runtime_seconds)
+        return ticket
+
+    # ------------------------------------------------------------------ #
+    def pending_tickets(self) -> List[WorkflowTicket]:
+        """Tickets that have been submitted but not completed."""
+        return [t for t in self._tickets.values() if not t.completed]
+
+    def ticket(self, ticket_id: str) -> WorkflowTicket:
+        if ticket_id not in self._tickets:
+            raise KeyError(f"unknown ticket {ticket_id!r}")
+        return self._tickets[ticket_id]

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_experiment_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-experiment", "not-a-real-experiment"])
+
+
+class TestListExperiments:
+    def test_lists_all_registered_experiments(self):
+        code, output = run_cli("list-experiments")
+        assert code == 0
+        assert "bp3d_all_features" in output
+        assert "matmul_subset_tolerance_5pct" in output
+        assert "Figures 7a, 7b" in output
+
+
+class TestShowCatalog:
+    def test_ndp_catalog(self):
+        code, output = run_cli("show-catalog", "ndp")
+        assert code == 0
+        assert "H0" in output and "H2" in output
+
+    def test_gpu_catalog_shows_gpus(self):
+        code, output = run_cli("show-catalog", "gpu")
+        assert code == 0
+        assert "G4" in output
+
+
+class TestRunExperiment:
+    def test_small_run_prints_series_and_summary(self):
+        code, output = run_cli(
+            "run-experiment",
+            "cycles_synthetic",
+            "--rounds", "10",
+            "--simulations", "2",
+            "--every", "5",
+            "--seed", "1",
+        )
+        assert code == 0
+        assert "rmse_mean" in output
+        assert "summary" in output
+        assert "final_accuracy_mean" in output
+
+
+class TestGenerateAndRecommend:
+    def test_generate_dataset_writes_files(self, tmp_path):
+        target = tmp_path / "cycles"
+        code, output = run_cli(
+            "generate-dataset", "cycles", "--output", str(target), "--runs", "40"
+        )
+        assert code == 0
+        assert (target / "runs.csv").exists()
+        assert "40" in output
+
+    def test_recommend_from_saved_dataset(self, tmp_path):
+        target = tmp_path / "cycles"
+        run_cli("generate-dataset", "cycles", "--output", str(target), "--runs", "60")
+        code, output = run_cli(
+            "recommend",
+            "--dataset", str(target),
+            "--features", "num_tasks=500",
+            "--tolerance-seconds", "20",
+        )
+        assert code == 0
+        assert "recommended" in output
+        assert "warm-started from 60" in output
+
+    def test_recommend_missing_feature(self, tmp_path):
+        target = tmp_path / "cycles"
+        run_cli("generate-dataset", "cycles", "--output", str(target), "--runs", "20")
+        with pytest.raises(SystemExit):
+            run_cli("recommend", "--dataset", str(target), "--features", "wrong=1")
+
+    def test_recommend_bad_feature_syntax(self, tmp_path):
+        target = tmp_path / "cycles"
+        run_cli("generate-dataset", "cycles", "--output", str(target), "--runs", "20")
+        with pytest.raises(SystemExit):
+            run_cli("recommend", "--dataset", str(target), "--features", "num_tasks")

@@ -1,0 +1,285 @@
+"""Tests for the cluster simulator substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BestFitScheduler,
+    ClusterSimulator,
+    EventQueue,
+    FIFOScheduler,
+    InsufficientCapacityError,
+    Node,
+    Pod,
+    PodPhase,
+)
+from repro.hardware import HardwareConfig, ndp_catalog
+from repro.utils.logging import EventLog
+from repro.workloads import CyclesWorkload
+
+
+@pytest.fixture
+def request_small():
+    return HardwareConfig("H0", cpus=2, memory_gb=16)
+
+
+@pytest.fixture
+def request_large():
+    return HardwareConfig("H2", cpus=4, memory_gb=16)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        assert q.pop().kind == "a"
+        assert q.pop().kind == "b"
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.push(3.0, "x")
+        q.pop()
+        assert q.now == 3.0
+
+    def test_push_in_is_relative(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        q.pop()
+        q.push_in(1.5, "y")
+        assert q.peek_time() == 3.5
+
+    def test_cannot_schedule_in_the_past(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(1.0, "late")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_drain_until(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        seen = []
+        processed = q.drain(lambda e: seen.append(e.kind), until=1.5)
+        assert processed == 1
+        assert seen == ["a"]
+        assert q.now == 1.5
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+
+class TestNode:
+    def test_allocation_reduces_free_capacity(self, request_small):
+        node = Node("n", cpus=8, memory_gb=32)
+        node.allocate("pod-1", request_small)
+        assert node.free_cpus == 6
+        assert node.free_memory_gb == 16
+
+    def test_fits_checks_all_dimensions(self, request_small):
+        node = Node("n", cpus=2, memory_gb=8)
+        assert not node.fits(request_small)  # memory too small
+
+    def test_over_allocation_rejected(self, request_large):
+        node = Node("n", cpus=4, memory_gb=16)
+        node.allocate("pod-1", request_large)
+        with pytest.raises(InsufficientCapacityError):
+            node.allocate("pod-2", request_large)
+
+    def test_duplicate_pod_rejected(self, request_small):
+        node = Node("n", cpus=8, memory_gb=32)
+        node.allocate("pod-1", request_small)
+        with pytest.raises(ValueError):
+            node.allocate("pod-1", request_small)
+
+    def test_release_restores_capacity(self, request_small):
+        node = Node("n", cpus=8, memory_gb=32)
+        node.allocate("pod-1", request_small)
+        node.release("pod-1")
+        assert node.free_cpus == 8
+
+    def test_release_unknown_pod(self):
+        with pytest.raises(KeyError):
+            Node("n", cpus=1, memory_gb=1).release("ghost")
+
+    def test_utilisation(self, request_small):
+        node = Node("n", cpus=4, memory_gb=32)
+        node.allocate("pod-1", request_small)
+        util = node.utilisation()
+        assert util["cpus"] == 0.5
+        assert util["memory_gb"] == 0.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Node("n", cpus=0, memory_gb=1)
+
+
+class TestPodLifecycle:
+    def test_normal_transitions(self, request_small):
+        pod = Pod("p", request_small)
+        pod.mark_submitted(0.0)
+        pod.mark_running(5.0, "node-a")
+        pod.mark_finished(25.0)
+        assert pod.phase is PodPhase.SUCCEEDED
+        assert pod.queue_seconds == 5.0
+        assert pod.runtime_seconds == 20.0
+        assert pod.is_terminal
+
+    def test_cannot_finish_before_running(self, request_small):
+        pod = Pod("p", request_small)
+        pod.mark_submitted(0.0)
+        with pytest.raises(RuntimeError):
+            pod.mark_finished(1.0)
+
+    def test_cannot_run_twice(self, request_small):
+        pod = Pod("p", request_small)
+        pod.mark_submitted(0.0)
+        pod.mark_running(1.0, "n")
+        with pytest.raises(RuntimeError):
+            pod.mark_running(2.0, "n")
+
+    def test_double_submit_rejected(self, request_small):
+        pod = Pod("p", request_small)
+        pod.mark_submitted(0.0)
+        with pytest.raises(RuntimeError):
+            pod.mark_submitted(1.0)
+
+    def test_failed_phase(self, request_small):
+        pod = Pod("p", request_small)
+        pod.mark_submitted(0.0)
+        pod.mark_running(0.0, "n")
+        pod.mark_finished(1.0, succeeded=False)
+        assert pod.phase is PodPhase.FAILED
+
+    def test_to_dict(self, request_small):
+        pod = Pod("p", request_small, features={"size": 10.0}, application="matmul")
+        d = pod.to_dict()
+        assert d["hardware"] == "H0"
+        assert d["feature_size"] == 10.0
+
+
+class TestSchedulers:
+    def test_fifo_picks_first_fitting_node(self, request_small):
+        nodes = [Node("a", cpus=1, memory_gb=4), Node("b", cpus=8, memory_gb=32)]
+        decision = FIFOScheduler().schedule(Pod("p", request_small), nodes)
+        assert decision.node_name == "b"
+        assert nodes[1].allocations
+
+    def test_fifo_no_capacity(self, request_large):
+        nodes = [Node("a", cpus=2, memory_gb=8)]
+        decision = FIFOScheduler().schedule(Pod("p", request_large), nodes)
+        assert not decision.placed
+
+    def test_best_fit_prefers_tightest_node(self, request_small):
+        nodes = [Node("roomy", cpus=32, memory_gb=128), Node("tight", cpus=2, memory_gb=16)]
+        decision = BestFitScheduler().schedule(Pod("p", request_small), nodes)
+        assert decision.node_name == "tight"
+
+    def test_best_fit_no_capacity(self, request_large):
+        nodes = [Node("a", cpus=2, memory_gb=8)]
+        decision = BestFitScheduler().select_node(Pod("p", request_large), nodes)
+        assert decision.node_name is None
+
+
+class TestClusterSimulator:
+    def _make(self, **kwargs):
+        return ClusterSimulator(
+            workload=CyclesWorkload(),
+            catalog=ndp_catalog(),
+            seed=0,
+            **kwargs,
+        )
+
+    def test_run_workload_returns_record(self):
+        sim = self._make()
+        run = sim.run_workload({"num_tasks": 100}, "H0")
+        assert run.record.hardware == "H0"
+        assert run.record.runtime_seconds > 0
+        assert run.queue_seconds == 0.0
+
+    def test_run_workload_accepts_config_object(self):
+        sim = self._make()
+        run = sim.run_workload({"num_tasks": 100}, ndp_catalog()["H1"])
+        assert run.record.hardware == "H1"
+
+    def test_run_workload_unknown_hardware(self):
+        sim = self._make()
+        with pytest.raises(KeyError):
+            sim.run_workload({"num_tasks": 100}, "H9")
+
+    def test_queued_execution_completes_all_pods(self):
+        sim = self._make()
+        for _ in range(6):
+            sim.submit({"num_tasks": 100}, "H0")
+        runs = sim.run_until_idle()
+        assert len(runs) == 6
+        assert all(p.phase is PodPhase.SUCCEEDED for p in sim.pods.values())
+
+    def test_contention_produces_queueing(self):
+        # One tiny node: the second pod must wait for the first to finish.
+        sim = ClusterSimulator(
+            workload=CyclesWorkload(),
+            catalog=ndp_catalog(),
+            nodes=[Node("tiny", cpus=2, memory_gb=16)],
+            seed=0,
+        )
+        sim.submit({"num_tasks": 100}, "H0", at_time=0.0)
+        sim.submit({"num_tasks": 100}, "H0", at_time=0.0)
+        runs = sim.run_until_idle()
+        queue_times = sorted(r.queue_seconds for r in runs)
+        assert queue_times[0] == 0.0
+        assert queue_times[1] > 0.0
+
+    def test_impossible_request_raises(self):
+        sim = ClusterSimulator(
+            workload=CyclesWorkload(),
+            catalog=ndp_catalog(),
+            nodes=[Node("tiny", cpus=1, memory_gb=1)],
+            seed=0,
+        )
+        sim.submit({"num_tasks": 100}, "H0")
+        with pytest.raises(RuntimeError, match="never be scheduled"):
+            sim.run_until_idle()
+
+    def test_event_log_records_lifecycle(self):
+        log = EventLog()
+        sim = ClusterSimulator(
+            workload=CyclesWorkload(), catalog=ndp_catalog(), seed=0, log=log
+        )
+        sim.submit({"num_tasks": 100}, "H0")
+        sim.run_until_idle()
+        events = {rec.event for rec in log}
+        assert {"pod_submitted", "pod_scheduled", "pod_finished"} <= events
+
+    def test_simulation_clock_advances(self):
+        sim = self._make()
+        sim.submit({"num_tasks": 100}, "H0")
+        sim.run_until_idle()
+        assert sim.now > 0
+
+    def test_utilisation_snapshot_shape(self):
+        sim = self._make()
+        util = sim.utilisation()
+        assert set(util) == {node.name for node in sim.nodes}
+
+    def test_runtimes_are_plausible(self):
+        sim = self._make()
+        expected = CyclesWorkload().expected_runtime({"num_tasks": 100}, ndp_catalog()["H0"])
+        run = sim.run_workload({"num_tasks": 100}, "H0")
+        assert run.record.runtime_seconds == pytest.approx(expected, rel=0.5)
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(workload=CyclesWorkload(), catalog=ndp_catalog(), nodes=[])

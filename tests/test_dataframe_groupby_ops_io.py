@@ -1,0 +1,196 @@
+"""Tests for repro.dataframe group-by, concat/merge and CSV I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, concat, merge, read_csv, write_csv
+
+
+@pytest.fixture
+def runs():
+    return DataFrame(
+        {
+            "run_id": ["r1", "r2", "r3", "r4", "r5"],
+            "hardware": ["H0", "H1", "H0", "H2", "H1"],
+            "runtime": [10.0, 12.0, 14.0, 9.0, 11.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_group_count(self, runs):
+        gb = runs.groupby("hardware")
+        assert gb.size() == {("H0",): 2, ("H1",): 2, ("H2",): 1}
+
+    def test_iteration_yields_subframes(self, runs):
+        for key, sub in runs.groupby("hardware"):
+            assert set(sub["hardware"].to_list()) == {key[0]}
+
+    def test_get_group_scalar_key(self, runs):
+        sub = runs.groupby("hardware").get_group("H0")
+        assert len(sub) == 2
+
+    def test_get_group_missing(self, runs):
+        with pytest.raises(KeyError):
+            runs.groupby("hardware").get_group("H9")
+
+    def test_agg_named(self, runs):
+        out = runs.groupby("hardware").agg({"runtime": "mean"})
+        row = {r["hardware"]: r["runtime_mean"] for r in out.iterrows()}
+        assert row["H0"] == pytest.approx(12.0)
+        assert row["H2"] == pytest.approx(9.0)
+
+    def test_agg_callable(self, runs):
+        out = runs.groupby("hardware").agg({"runtime": lambda a: float(np.max(a) - np.min(a))})
+        row = {r["hardware"]: r["runtime"] for r in out.iterrows()}
+        assert row["H0"] == pytest.approx(4.0)
+
+    def test_agg_unknown_name(self, runs):
+        with pytest.raises(ValueError):
+            runs.groupby("hardware").agg({"runtime": "nope"})
+
+    def test_mean_shortcut(self, runs):
+        out = runs.groupby("hardware").mean(["runtime"])
+        assert "runtime_mean" in out
+
+    def test_count_shortcut(self, runs):
+        out = runs.groupby("hardware").count()
+        counts = {r["hardware"]: r["count"] for r in out.iterrows()}
+        assert counts == {"H0": 2, "H1": 2, "H2": 1}
+
+    def test_apply(self, runs):
+        out = runs.groupby("hardware").apply(lambda sub: {"total": sub["runtime"].sum()})
+        totals = {r["hardware"]: r["total"] for r in out.iterrows()}
+        assert totals["H1"] == pytest.approx(23.0)
+
+    def test_multi_key(self, runs):
+        runs["site"] = ["a", "a", "b", "b", "a"]
+        gb = runs.groupby(["hardware", "site"])
+        assert ("H0", "a") in gb.groups()
+
+    def test_missing_key_column(self, runs):
+        with pytest.raises(KeyError):
+            runs.groupby("nope")
+
+    def test_empty_keys_rejected(self, runs):
+        with pytest.raises(ValueError):
+            runs.groupby([])
+
+
+class TestConcat:
+    def test_row_stack(self, runs):
+        out = concat([runs, runs])
+        assert len(out) == 10
+
+    def test_union_of_columns_filled(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [2]})
+        out = concat([a, b])
+        assert set(out.columns) == {"x", "y"}
+        assert np.isnan(out["y"][0])
+
+    def test_empty_input(self):
+        assert concat([]).shape == (0, 0)
+
+
+class TestMerge:
+    def test_inner_join(self):
+        left = DataFrame({"id": [1, 2, 3], "a": [10, 20, 30]})
+        right = DataFrame({"id": [2, 3, 4], "b": [200, 300, 400]})
+        out = merge(left, right, on="id")
+        assert len(out) == 2
+        assert out["id"].to_list() == [2, 3]
+        assert out["b"].to_list() == [200, 300]
+
+    def test_left_join_fills_nan(self):
+        left = DataFrame({"id": [1, 2], "a": [10, 20]})
+        right = DataFrame({"id": [2], "b": [200]})
+        out = merge(left, right, on="id", how="left")
+        assert len(out) == 2
+        assert np.isnan(out["b"][0])
+
+    def test_outer_join_includes_unmatched_right(self):
+        left = DataFrame({"id": [1], "a": [10]})
+        right = DataFrame({"id": [2], "b": [20]})
+        out = merge(left, right, on="id", how="outer")
+        assert len(out) == 2
+
+    def test_overlapping_columns_get_suffixes(self):
+        left = DataFrame({"id": [1], "v": [10]})
+        right = DataFrame({"id": [1], "v": [99]})
+        out = merge(left, right, on="id")
+        assert "v_x" in out and "v_y" in out
+
+    def test_one_to_many(self):
+        left = DataFrame({"id": [1], "a": [10]})
+        right = DataFrame({"id": [1, 1], "b": [1, 2]})
+        out = merge(left, right, on="id")
+        assert len(out) == 2
+
+    def test_multi_key_join(self):
+        left = DataFrame({"id": [1, 1], "hw": ["H0", "H1"], "a": [5, 6]})
+        right = DataFrame({"id": [1, 1], "hw": ["H1", "H0"], "b": [60, 50]})
+        out = merge(left, right, on=["id", "hw"])
+        rows = {r["hw"]: (r["a"], r["b"]) for r in out.iterrows()}
+        assert rows == {"H0": (5, 50), "H1": (6, 60)}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            merge(DataFrame({"a": [1]}), DataFrame({"b": [1]}), on="id")
+
+    def test_bad_how(self):
+        frame = DataFrame({"id": [1]})
+        with pytest.raises(ValueError):
+            merge(frame, frame, on="id", how="cross")
+
+    def test_no_matches_inner(self):
+        left = DataFrame({"id": [1], "a": [1]})
+        right = DataFrame({"id": [2], "b": [2]})
+        out = merge(left, right, on="id")
+        assert len(out) == 0
+        assert set(out.columns) == {"id", "a", "b"}
+
+
+class TestCsvIO:
+    def test_roundtrip_through_buffer(self, runs):
+        buffer = io.StringIO()
+        write_csv(runs, buffer)
+        buffer.seek(0)
+        back = read_csv(buffer)
+        assert back.shape == runs.shape
+        assert back["runtime"].to_list() == runs["runtime"].to_list()
+        assert back["hardware"].to_list() == runs["hardware"].to_list()
+
+    def test_roundtrip_through_file(self, runs, tmp_path):
+        path = tmp_path / "runs.csv"
+        write_csv(runs, path)
+        back = read_csv(path)
+        assert back.shape == runs.shape
+
+    def test_type_inference_int_float_str(self):
+        buffer = io.StringIO("a,b,c\n1,1.5,x\n2,2.5,y\n")
+        frame = read_csv(buffer)
+        assert frame["a"].dtype.kind == "i"
+        assert frame["b"].dtype.kind == "f"
+        assert frame["c"].dtype == object
+
+    def test_missing_values_become_nan(self):
+        buffer = io.StringIO("a,b\n1,x\n,y\n3,z\n")
+        frame = read_csv(buffer)
+        assert np.isnan(frame["a"][1])
+        assert frame["a"][0] == 1.0
+
+    def test_empty_file(self):
+        assert read_csv(io.StringIO("")).shape == (0, 0)
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("a,b\n1\n"))
+
+    def test_write_selected_columns(self, runs, tmp_path):
+        path = tmp_path / "partial.csv"
+        write_csv(runs, path, columns=["run_id"])
+        back = read_csv(path)
+        assert back.columns == ["run_id"]

@@ -1,0 +1,146 @@
+"""Tests for repro.dataframe.series."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Series
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Series([1, 2, 3], name="x")
+        assert len(s) == 3
+        assert s.name == "x"
+
+    def test_scalar_becomes_length_one(self):
+        assert len(Series(5)) == 1
+
+    def test_strings_become_object_dtype(self):
+        s = Series(["a", "b"])
+        assert s.dtype == object
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Series(np.zeros((2, 2)))
+
+    def test_values_property(self):
+        s = Series([1.0, 2.0])
+        assert isinstance(s.values, np.ndarray)
+
+
+class TestIndexing:
+    def test_scalar_index(self):
+        assert Series([10, 20, 30])[1] == 20
+
+    def test_slice_returns_series(self):
+        s = Series([1, 2, 3, 4], name="v")[1:3]
+        assert isinstance(s, Series)
+        assert s.to_list() == [2, 3]
+        assert s.name == "v"
+
+    def test_boolean_mask(self):
+        s = Series([1, 2, 3, 4])
+        out = s[np.array([True, False, True, False])]
+        assert out.to_list() == [1, 3]
+
+    def test_fancy_index(self):
+        s = Series([1, 2, 3, 4])
+        assert s[[3, 0]].to_list() == [4, 1]
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Series([1, 2]) + 1).to_list() == [2, 3]
+
+    def test_add_series(self):
+        assert (Series([1, 2]) + Series([10, 20])).to_list() == [11, 22]
+
+    def test_radd(self):
+        assert (1 + Series([1, 2])).to_list() == [2, 3]
+
+    def test_sub_mul_div(self):
+        s = Series([2.0, 4.0])
+        assert (s - 1).to_list() == [1.0, 3.0]
+        assert (s * 3).to_list() == [6.0, 12.0]
+        assert (s / 2).to_list() == [1.0, 2.0]
+
+    def test_rsub_order(self):
+        assert (10 - Series([1, 2])).to_list() == [9, 8]
+
+    def test_pow(self):
+        assert (Series([2, 3]) ** 2).to_list() == [4, 9]
+
+    def test_neg_and_abs(self):
+        s = Series([-1.0, 2.0])
+        assert (-s).to_list() == [1.0, -2.0]
+        assert abs(s).to_list() == [1.0, 2.0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Series([1, 2]) + Series([1, 2, 3])
+
+
+class TestComparisons:
+    def test_gt_returns_bool_array(self):
+        mask = Series([1, 5, 3]) > 2
+        assert mask.dtype == bool
+        assert mask.tolist() == [False, True, True]
+
+    def test_eq_elementwise(self):
+        mask = Series([1, 2, 3]) == 2
+        assert mask.tolist() == [False, True, False]
+
+    def test_series_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Series([1]))
+
+
+class TestMethods:
+    def test_reductions(self):
+        s = Series([1.0, 2.0, 3.0, 4.0])
+        assert s.sum() == 10.0
+        assert s.mean() == 2.5
+        assert s.min() == 1.0
+        assert s.max() == 4.0
+        assert s.median() == 2.5
+
+    def test_std_ddof(self):
+        s = Series([1.0, 3.0])
+        assert s.std() == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_argmin_argmax(self):
+        s = Series([5, 1, 9])
+        assert s.argmin() == 1
+        assert s.argmax() == 2
+
+    def test_quantile(self):
+        assert Series([0.0, 1.0]).quantile(0.5) == 0.5
+
+    def test_map(self):
+        assert Series([1, 2]).map(lambda v: v * 10).to_list() == [10, 20]
+
+    def test_isin(self):
+        assert Series(["a", "b", "c"]).isin({"a", "c"}).tolist() == [True, False, True]
+
+    def test_unique_preserves_order(self):
+        assert Series([3, 1, 3, 2, 1]).unique().tolist() == [3, 1, 2]
+
+    def test_value_counts_sorted(self):
+        counts = Series(["x", "y", "x"]).value_counts()
+        assert counts == {"x": 2, "y": 1}
+
+    def test_rename_and_copy(self):
+        s = Series([1], name="a")
+        assert s.rename("b").name == "b"
+        c = s.copy()
+        c.values[0] = 99
+        assert s[0] == 1
+
+    def test_astype(self):
+        assert Series([1, 2]).astype(float).dtype == float
+
+    def test_to_numpy_copies(self):
+        s = Series([1.0, 2.0])
+        arr = s.to_numpy()
+        arr[0] = 99
+        assert s[0] == 1.0

@@ -1,0 +1,114 @@
+"""Tests for evaluation metrics and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    accuracy_score,
+    format_metric_table,
+    format_summary,
+    mae,
+    mape,
+    r2_score,
+    rmse,
+    selection_accuracy,
+)
+from repro.evaluation.reporting import format_histogram
+
+
+class TestRegressionMetrics:
+    def test_rmse_zero_for_perfect_predictions(self):
+        assert rmse([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_is_symmetric(self):
+        a, b = [1.0, 5.0, 2.0], [2.0, 3.0, 2.0]
+        assert rmse(a, b) == rmse(b, a)
+
+    def test_mae_known_value(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_mape_known_value(self):
+        assert mape([10.0, 20.0], [11.0, 18.0]) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_mape_zero_actual_guarded(self):
+        assert np.isfinite(mape([0.0], [1.0]))
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        actual = [1.0, 2.0, 3.0]
+        assert r2_score(actual, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0
+
+    def test_r2_constant_actuals(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score([1.0, np.nan], [1.0, 2.0])
+
+
+class TestSelectionMetrics:
+    def test_accuracy_score(self):
+        assert accuracy_score([True, False, True, True]) == 0.75
+
+    def test_accuracy_score_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([])
+
+    def test_selection_accuracy_with_single_answers(self):
+        assert selection_accuracy(["H0", "H1"], ["H0", "H0"]) == 0.5
+
+    def test_selection_accuracy_with_sets(self):
+        acceptable = [{"H0", "H1"}, {"H2"}]
+        assert selection_accuracy(["H1", "H1"], acceptable) == 0.5
+
+    def test_selection_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            selection_accuracy(["H0"], ["H0", "H1"])
+
+    def test_selection_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            selection_accuracy([], [])
+
+
+class TestReportingHelpers:
+    def test_format_metric_table_contains_values(self):
+        text = format_metric_table([{"round": 1, "rmse": 2.5}], title="demo")
+        assert "demo" in text
+        assert "2.5" in text
+
+    def test_format_metric_table_empty(self):
+        assert "(no rows)" in format_metric_table([])
+
+    def test_format_summary(self):
+        text = format_summary({"accuracy": 0.75, "rounds": 50})
+        assert "accuracy" in text and "0.75" in text
+
+    def test_format_histogram(self):
+        text = format_histogram([1.0, 1.1, 5.0, 5.2, 5.1], bins=2, title="rmse")
+        assert "rmse" in text
+        assert "#" in text
+
+    def test_format_histogram_empty(self):
+        with pytest.raises(ValueError):
+            format_histogram([])
+
+    def test_format_histogram_bad_bins(self):
+        with pytest.raises(ValueError):
+            format_histogram([1.0], bins=0)

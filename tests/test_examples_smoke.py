@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable, so the suite executes each
+one in-process (same interpreter, no subprocess start-up cost) and checks that
+it completes and prints something sensible.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "cycles_workflow.py",
+    "burnpro3d_recommendation.py",
+    "matmul_hardware_selection.py",
+    "cluster_simulation.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output.strip()) > 0
+
+
+def test_quickstart_converges_to_h1(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "recommended hardware: H1" in output
+
+
+def test_cluster_simulation_reports_improvement(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "cluster_simulation.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "banditware" in output
+    assert "sooner" in output

@@ -1,0 +1,164 @@
+"""Integration tests: the NDP-style recommendation service end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator
+from repro.hardware import ndp_catalog
+from repro.integration import (
+    ApplicationRegistry,
+    RecommendationService,
+    RunHistoryStore,
+)
+from repro.utils.logging import EventLog
+from repro.workloads import CyclesWorkload, LinearRuntimeWorkload, RunRecord, TraceGenerator
+
+
+class TestApplicationRegistry:
+    def test_register_and_get(self):
+        registry = ApplicationRegistry()
+        registry.register("cycles", "alice", ["num_tasks"])
+        assert registry.get("cycles").owner == "alice"
+        assert "cycles" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = ApplicationRegistry()
+        registry.register("cycles", "alice", ["num_tasks"])
+        with pytest.raises(ValueError):
+            registry.register("cycles", "bob", ["num_tasks"])
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            ApplicationRegistry().get("ghost")
+
+    def test_requires_features(self):
+        with pytest.raises(ValueError):
+            ApplicationRegistry().register("app", "alice", [])
+
+    def test_list_applications_sorted(self):
+        registry = ApplicationRegistry()
+        registry.register("zeta", "a", ["x"])
+        registry.register("alpha", "a", ["x"])
+        assert [a.name for a in registry.list_applications()] == ["alpha", "zeta"]
+
+
+class TestRunHistoryStore:
+    def _record(self, app="cycles", hw="H0", runtime=10.0):
+        return RunRecord("r", app, hw, runtime, features={"num_tasks": 100.0})
+
+    def test_add_and_query(self):
+        store = RunHistoryStore()
+        store.add(self._record())
+        store.add(self._record(app="other"))
+        assert len(store) == 2
+        assert len(store.records_for("cycles")) == 1
+
+    def test_frame_for_application(self):
+        store = RunHistoryStore()
+        store.extend([self._record(), self._record(hw="H1")])
+        frame = store.frame_for("cycles")
+        assert frame.shape[0] == 2
+        assert "num_tasks" in frame
+
+    def test_total_runtime_and_usage(self):
+        store = RunHistoryStore()
+        store.extend([self._record(runtime=10.0), self._record(hw="H1", runtime=5.0)])
+        assert store.total_runtime() == 15.0
+        assert store.total_runtime("cycles") == 15.0
+        assert store.hardware_usage() == {"H0": 1, "H1": 1}
+
+
+class TestRecommendationService:
+    def _service(self, seed=0, log=None):
+        return RecommendationService(catalog=ndp_catalog(), seed=seed, log=log)
+
+    def test_register_creates_recommender(self):
+        service = self._service()
+        recommender = service.register_application("cycles", "alice", ["num_tasks"])
+        assert service.recommender_for("cycles") is recommender
+
+    def test_submit_requires_registration(self):
+        with pytest.raises(KeyError):
+            self._service().submit_workflow("ghost", {"x": 1.0})
+
+    def test_submit_and_complete_updates_models_and_history(self):
+        service = self._service()
+        service.register_application("cycles", "alice", ["num_tasks"])
+        ticket = service.submit_workflow("cycles", {"num_tasks": 100.0})
+        assert ticket.recommendation.hardware.name in ndp_catalog().names
+        service.complete_workflow(ticket.ticket_id, 123.0)
+        assert service.ticket(ticket.ticket_id).completed
+        assert len(service.history) == 1
+        counts = service.recommender_for("cycles").observation_counts()
+        assert sum(counts.values()) == 1
+
+    def test_double_completion_rejected(self):
+        service = self._service()
+        service.register_application("cycles", "alice", ["num_tasks"])
+        ticket = service.submit_workflow("cycles", {"num_tasks": 100.0})
+        service.complete_workflow(ticket.ticket_id, 10.0)
+        with pytest.raises(ValueError):
+            service.complete_workflow(ticket.ticket_id, 10.0)
+
+    def test_unknown_ticket(self):
+        service = self._service()
+        with pytest.raises(KeyError):
+            service.complete_workflow("wf-999999", 1.0)
+
+    def test_pending_tickets(self):
+        service = self._service()
+        service.register_application("cycles", "alice", ["num_tasks"])
+        ticket = service.submit_workflow("cycles", {"num_tasks": 100.0})
+        assert [t.ticket_id for t in service.pending_tickets()] == [ticket.ticket_id]
+        service.complete_workflow(ticket.ticket_id, 10.0)
+        assert service.pending_tickets() == []
+
+    def test_warm_start_from_existing_history(self, ndp):
+        workload = LinearRuntimeWorkload.random(ndp, n_features=1, seed=3)
+        history = RunHistoryStore()
+        generator = TraceGenerator(workload, ndp, seed=1)
+        history.extend(generator.generate_runs(20))
+        service = RecommendationService(catalog=ndp, history=history, seed=0)
+        recommender = service.register_application(
+            workload.name, "alice", workload.feature_names
+        )
+        assert sum(recommender.observation_counts().values()) == 20
+
+    def test_run_workflow_end_to_end_with_cluster(self):
+        log = EventLog()
+        service = self._service(log=log)
+        service.register_application("cycles", "alice", ["num_tasks"])
+        cluster = ClusterSimulator(workload=CyclesWorkload(), catalog=ndp_catalog(), seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            features = {"num_tasks": float(rng.choice([100, 500]))}
+            ticket = service.run_workflow("cycles", features, cluster)
+            assert ticket.completed
+            assert ticket.observed_runtime > 0
+        assert len(service.history) == 10
+        assert len(log.filter(event="recommendation")) == 10
+
+    def test_online_service_learns_the_fast_hardware(self, ndp):
+        """Over a stream of workflows the service's recommendations converge."""
+        workload = LinearRuntimeWorkload(
+            feature_ranges={"x": (1.0, 10.0)},
+            coefficients={
+                "H0": ({"x": 30.0}, 5.0),
+                "H1": ({"x": 3.0}, 5.0),
+                "H2": ({"x": 15.0}, 5.0),
+            },
+            noise_sigma=0.5,
+        )
+        service = RecommendationService(catalog=ndp, seed=2)
+        service.register_application(workload.name, "alice", workload.feature_names)
+        rng = np.random.default_rng(11)
+        picks = []
+        for _ in range(120):
+            features = workload.sample_features(rng)
+            ticket = service.submit_workflow(workload.name, features)
+            runtime = workload.observed_runtime(features, ticket.recommendation.hardware, rng)
+            service.complete_workflow(ticket.ticket_id, runtime)
+            picks.append(ticket.recommendation.hardware.name)
+        late_picks = picks[-30:]
+        assert late_picks.count("H1") / len(late_picks) > 0.7

@@ -1,0 +1,116 @@
+"""Property-based tests for the DataFrame substrate."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import DataFrame, Series, concat, merge, read_csv, write_csv
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def frames(draw, min_rows=0, max_rows=25):
+    n_rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    data = {}
+    for c in range(n_cols):
+        data[f"c{c}"] = draw(
+            st.lists(finite_floats, min_size=n_rows, max_size=n_rows)
+        )
+    return DataFrame(data)
+
+
+class TestSeriesProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_sum_matches_numpy(self, values):
+        assert Series(values).sum() == np.asarray(values).sum()
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50), finite_floats)
+    def test_add_then_subtract_roundtrips(self, values, delta):
+        s = Series(values)
+        back = (s + delta) - delta
+        assert np.allclose(back.values, s.values, atol=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_mask_filter_preserves_order(self, values):
+        s = Series(values)
+        mask = s > 0
+        filtered = s[mask]
+        assert filtered.to_list() == [v for v in values if v > 0]
+
+    @given(st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=60))
+    def test_value_counts_total(self, values):
+        counts = Series(values).value_counts()
+        assert sum(counts.values()) == len(values)
+
+
+class TestFrameProperties:
+    @given(frames(min_rows=1))
+    def test_take_identity_permutation(self, frame):
+        out = frame.take(np.arange(len(frame)))
+        assert out.to_dict() == frame.to_dict()
+
+    @given(frames(min_rows=1))
+    def test_filter_all_true_is_identity(self, frame):
+        out = frame.filter(np.ones(len(frame), dtype=bool))
+        assert out.to_dict() == frame.to_dict()
+
+    @given(frames(min_rows=1))
+    def test_sort_is_a_permutation(self, frame):
+        column = frame.columns[0]
+        out = frame.sort_values(column)
+        assert sorted(out[column].to_list()) == sorted(frame[column].to_list())
+        assert out[column].to_list() == sorted(frame[column].to_list())
+
+    @given(frames(min_rows=0), frames(min_rows=0))
+    def test_concat_row_count(self, a, b):
+        out = concat([a, b])
+        assert len(out) == len(a) + len(b)
+
+    @given(frames(min_rows=1, max_rows=12))
+    def test_csv_roundtrip(self, frame):
+        buffer = io.StringIO()
+        write_csv(frame, buffer)
+        buffer.seek(0)
+        back = read_csv(buffer)
+        assert back.shape == frame.shape
+        for column in frame.columns:
+            assert np.allclose(
+                back[column].to_numpy(float), frame[column].to_numpy(float), atol=1e-9
+            )
+
+    @given(frames(min_rows=1, max_rows=15))
+    def test_groupby_sizes_sum_to_total(self, frame):
+        frame = frame.assign(key=np.arange(len(frame)) % 3)
+        sizes = frame.groupby("key").size()
+        assert sum(sizes.values()) == len(frame)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=12),
+        st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=12),
+    )
+    def test_inner_merge_count_matches_key_multiplicity(self, left_keys, right_keys):
+        left = DataFrame({"id": left_keys, "a": list(range(len(left_keys)))})
+        right = DataFrame({"id": right_keys, "b": list(range(len(right_keys)))})
+        out = merge(left, right, on="id")
+        expected = sum(left_keys.count(k) * right_keys.count(k) for k in set(left_keys))
+        assert len(out) == expected
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=12),
+        st.lists(st.integers(min_value=0, max_value=8), min_size=0, max_size=12),
+    )
+    def test_left_merge_never_drops_left_rows(self, left_keys, right_keys):
+        left = DataFrame({"id": left_keys, "a": list(range(len(left_keys)))})
+        right = DataFrame({"id": right_keys, "b": list(range(len(right_keys)))})
+        out = merge(left, right, on="id", how="left")
+        assert len(out) >= len(left)

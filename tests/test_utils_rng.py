@@ -1,0 +1,96 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequencePool, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42)
+        b = as_generator(42)
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        assert as_generator(1).random() != as_generator(2).random()
+
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(99)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(7, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(7, 3)
+        values = [g.random() for g in gens]
+        assert len(set(values)) == 3
+
+    def test_reproducible_family(self):
+        a = [g.random() for g in spawn_generators(7, 3)]
+        b = [g.random() for g in spawn_generators(7, 3)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_generators(7, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(7, -1)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(3)
+        gens = spawn_generators(g, 2)
+        assert len(gens) == 2
+
+
+class TestSeedSequencePool:
+    def test_same_index_same_stream(self):
+        pool_a = SeedSequencePool(5)
+        pool_b = SeedSequencePool(5)
+        assert pool_a.generator(3).random() == pool_b.generator(3).random()
+
+    def test_indices_are_independent(self):
+        pool = SeedSequencePool(5)
+        assert pool.generator(0).random() != pool.generator(1).random()
+
+    def test_earlier_children_unaffected_by_growth(self):
+        pool_small = SeedSequencePool(5)
+        first_small = pool_small.generator(0).random()
+        pool_big = SeedSequencePool(5)
+        pool_big.generators(50)
+        first_big = pool_big.generator(0).random()
+        assert first_small == first_big
+
+    def test_len_tracks_created_children(self):
+        pool = SeedSequencePool(1)
+        pool.generator(4)
+        assert len(pool) >= 5
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequencePool(1).generator(-1)
+
+    def test_accepts_generator_seed(self):
+        pool = SeedSequencePool(np.random.default_rng(0))
+        assert isinstance(pool.generator(0), np.random.Generator)

@@ -1,0 +1,96 @@
+"""Tests for the GPU-aware LLM-inference workload (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BanditWare
+from repro.workloads import LLMInferenceWorkload, gpu_catalog
+
+
+@pytest.fixture
+def llm():
+    return LLMInferenceWorkload()
+
+
+@pytest.fixture
+def catalog():
+    return gpu_catalog()
+
+
+class TestGpuCatalog:
+    def test_mixes_cpu_and_gpu_configurations(self, catalog):
+        gpus = [hw.gpus for hw in catalog]
+        assert 0 in gpus
+        assert max(gpus) >= 2
+
+    def test_names_unique(self, catalog):
+        assert len(set(catalog.names)) == len(catalog)
+
+
+class TestLLMInferenceWorkload:
+    def test_feature_names(self, llm):
+        assert llm.feature_names == ["prompt_tokens", "output_tokens", "batch_size"]
+
+    def test_sampled_features_in_range(self, llm, rng):
+        f = llm.sample_features(rng)
+        assert 64 <= f["prompt_tokens"] <= 4096
+        assert 16 <= f["output_tokens"] <= 1024
+        assert 1 <= f["batch_size"] <= 64
+
+    def test_gpu_is_much_faster_than_cpu(self, llm, catalog):
+        f = {"prompt_tokens": 2048, "output_tokens": 512, "batch_size": 8}
+        cpu = llm.expected_runtime(f, catalog["C8"])
+        gpu = llm.expected_runtime(f, catalog["G1"])
+        assert gpu < cpu / 3
+
+    def test_more_gpus_help_large_batches(self, llm, catalog):
+        f = {"prompt_tokens": 4096, "output_tokens": 1024, "batch_size": 64}
+        assert llm.expected_runtime(f, catalog["G4"]) < llm.expected_runtime(f, catalog["G1"])
+
+    def test_small_jobs_do_not_need_the_biggest_gpu_node(self, llm, catalog):
+        # Startup/shard-init overhead grows with GPU count, so a tiny request
+        # is served best by the single-GPU node.
+        f = {"prompt_tokens": 64, "output_tokens": 16, "batch_size": 1}
+        assert llm.best_hardware(f, catalog).name == "G1"
+
+    def test_runtime_increases_with_tokens(self, llm, catalog):
+        hw = catalog["G1"]
+        short = {"prompt_tokens": 128, "output_tokens": 64, "batch_size": 4}
+        long = {"prompt_tokens": 4096, "output_tokens": 1024, "batch_size": 4}
+        assert llm.expected_runtime(long, hw) > llm.expected_runtime(short, hw)
+
+    def test_bigger_models_are_slower(self, catalog):
+        small = LLMInferenceWorkload(model_billion_params=7)
+        large = LLMInferenceWorkload(model_billion_params=70)
+        f = {"prompt_tokens": 1024, "output_tokens": 256, "batch_size": 4}
+        assert large.expected_runtime(f, catalog["G2"]) > small.expected_runtime(f, catalog["G2"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LLMInferenceWorkload(model_billion_params=0)
+        with pytest.raises(ValueError):
+            LLMInferenceWorkload(cpu_slowdown=0.5)
+        with pytest.raises(ValueError):
+            LLMInferenceWorkload(tensor_parallel_efficiency=0.0)
+
+    def test_negative_tokens_rejected(self, llm, catalog):
+        with pytest.raises(ValueError):
+            llm.expected_runtime(
+                {"prompt_tokens": -1, "output_tokens": 10, "batch_size": 1}, catalog["G1"]
+            )
+
+
+class TestBanditOnGpuCatalog:
+    def test_bandit_learns_to_use_gpus_for_heavy_jobs(self, llm, catalog):
+        """End-to-end: with GPU information in the catalog the recommender
+        routes heavy inference jobs to GPU nodes (the paper's future-work
+        scenario)."""
+        rng = np.random.default_rng(4)
+        bandit = BanditWare(catalog=catalog, feature_names=llm.feature_names, seed=2)
+        for _ in range(150):
+            features = llm.sample_features(rng)
+            rec = bandit.recommend(features)
+            runtime = llm.observed_runtime(features, rec.hardware, rng)
+            bandit.observe(features, rec.hardware, runtime)
+        heavy = {"prompt_tokens": 4096, "output_tokens": 1024, "batch_size": 48}
+        assert bandit.best_hardware(heavy).gpus >= 1
