@@ -1,0 +1,293 @@
+"""Benchmark the vectorised evaluation engine against the seed implementation.
+
+Measures wall-clock rounds/second of the replicated BP3D online simulation
+(50 rounds x 10 replications by default) under three engines:
+
+* ``seed``     -- a verbatim reconstruction of the seed engine: per-arm OLS
+  models that re-stack their full data store and re-solve ``lstsq`` after
+  every observation, dict-based ``recommend``/``observe`` with per-call
+  validation, audit estimates on every round, history tracking, and a full
+  re-scoring of the evaluation set after every round of every replication
+  (including the seed's ε-decay-during-seeding schedule).
+* ``serial``   -- the batched engine (``OnlineSimulation.run``,
+  ``n_workers=1``): incremental normal-equation refits, deferred whole-series
+  scoring, validation hoisted out of the per-round path.
+* ``parallel`` -- the same engine with a process pool over replications.
+
+The headline ``speedup_serial_vs_seed`` compares the new engine to the seed
+engine.  Because the seed baseline also carries the old ε schedule, engine
+*mechanics* are verified separately: a legacy-style per-round loop with the
+fixed semantics and the full solver is compared against the batched engine
+running ``arm_model="ols_full"`` (expected: identical decisions, float-level
+score differences), and the incremental solver is compared against the full
+solver (expected: identical decisions; transient per-round score deviations
+on ill-conditioned rounds that re-converge).  Results land in
+``BENCH_eval.json`` at the repository root.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--rounds N] [--simulations N]
+        [--workers N] [--repeats N] [--output PATH]
+
+This module is not collected by pytest (no ``test_`` prefix); the ``slow``
+marked test in ``tests/test_engine_parity.py`` exercises it on a small budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.banditware import BanditWare
+from repro.core.models.base import ArmModel
+from repro.core.policies import DecayingEpsilonGreedyPolicy
+from repro.evaluation.experiment import build_experiment
+from repro.evaluation.simulation import OnlineSimulation
+from repro.utils.rng import SeedSequencePool
+from repro.utils.validation import check_feature_matrix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_eval.json"
+
+
+class _SeedOLS(ArmModel):
+    """The seed repository's LeastSquaresModel, reconstructed verbatim.
+
+    Keeps the full data store in Python lists and re-stacks + re-solves
+    ``numpy.linalg.lstsq`` on the ``[X | 1]`` design after every observation;
+    every call path revalidates its inputs, exactly like the seed.
+    """
+
+    def __init__(self, n_features: int):
+        super().__init__(n_features)
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._w = np.zeros(self.n_features)
+        self._b = 0.0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        return self._w.copy()
+
+    @property
+    def intercept(self) -> float:
+        return float(self._b)
+
+    def _refit(self) -> None:
+        X = np.vstack(self._X)
+        y = np.asarray(self._y, dtype=float)
+        design = np.hstack([X, np.ones((X.shape[0], 1))])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self._w = solution[:-1]
+        self._b = float(solution[-1])
+
+    def update(self, x, runtime: float) -> None:
+        context = self._check_context(x)
+        self._X.append(context)
+        self._y.append(float(runtime))
+        self._n_observations += 1
+        self._refit()
+
+    def update_vector(self, context: np.ndarray, runtime: float) -> None:
+        # The seed had no trusted fast path; reproduce its per-call cost.
+        self.update(context, runtime)
+
+    def predict(self, x) -> float:
+        context = self._check_context(x)
+        return float(self._w @ context + self._b)
+
+    def predict_vector(self, context: np.ndarray) -> float:
+        return self.predict(context)
+
+    def predict_batch(self, X) -> np.ndarray:
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        return np.asarray([self.predict(row) for row in X], dtype=float)
+
+
+def _seed_score_models(sim: OnlineSimulation, W: np.ndarray, b: np.ndarray) -> tuple:
+    """The seed's per-round scorer, verbatim (one round at a time)."""
+    predictions_all = sim._X_eval @ W.T + b  # (n_eval, n_arms)
+    predicted = predictions_all[np.arange(len(sim._y_eval)), sim._hw_idx]
+    rmse_value = float(np.sqrt(np.mean((sim._y_eval - predicted) ** 2)))
+    tol = sim.config.tolerance
+    fastest = predictions_all.min(axis=1)
+    limit = (1.0 + tol.ratio) * fastest + tol.seconds  # the seed's unclamped limit
+    candidates = predictions_all <= limit[:, None]
+    rank_matrix = np.where(candidates, sim._efficiency_rank[None, :], np.inf)
+    chosen = rank_matrix.argmin(axis=1)
+    correct = sim._acceptable[np.arange(len(chosen)), chosen]
+    return rmse_value, float(np.mean(correct))
+
+
+def _run_per_round_loop(
+    sim: OnlineSimulation, seed_semantics: bool
+) -> tuple:
+    """The seed engine's replication loop on top of ``sim``'s data.
+
+    With ``seed_semantics=True`` this is the full seed reconstruction
+    (ε decays during the deterministic seeding rounds, seed scorer).  With
+    ``seed_semantics=False`` it keeps the fixed selection semantics and the
+    library scorer, isolating engine *mechanics* for the parity check.
+    """
+    cfg = sim.config
+    pool = SeedSequencePool(cfg.seed)
+    rmse = np.empty((cfg.n_simulations, cfg.n_rounds))
+    accuracy = np.empty((cfg.n_simulations, cfg.n_rounds))
+    n_pool = len(sim._workflow_pool)
+    for s in range(cfg.n_simulations):
+        rng = pool.generator(s)
+        bandit = BanditWare(
+            catalog=sim.catalog,
+            feature_names=sim.feature_names,
+            policy=DecayingEpsilonGreedyPolicy(
+                epsilon0=cfg.epsilon0,
+                decay=cfg.decay,
+                tolerance=cfg.tolerance,
+                decay_during_seeding=seed_semantics,
+            ),
+            arm_model_factory=_SeedOLS,
+            seed=rng,
+        )
+        for r in range(cfg.n_rounds):
+            features = dict(sim._workflow_pool[int(rng.integers(n_pool))])
+            scaled = sim._scale_context(features)
+            recommendation = bandit.recommend(scaled)
+            runtime = sim.workload.observed_runtime(features, recommendation.hardware, rng)
+            bandit.observe(scaled, recommendation.hardware, runtime)
+            W, b = sim._coefficient_matrices(bandit)
+            if seed_semantics:
+                rmse[s, r], accuracy[s, r] = _seed_score_models(sim, W, b)
+            else:
+                rmse[s, r], accuracy[s, r] = sim._score_models(W, b)
+    return rmse, accuracy
+
+
+def _build_simulation(n_rounds: int, n_simulations: int, n_workers: int = 1, arm_model: str = "ols") -> OnlineSimulation:
+    definition = build_experiment(
+        "bp3d_all_features", n_simulations=n_simulations, n_rounds=n_rounds
+    )
+    config = replace(definition.config, n_workers=n_workers, arm_model=arm_model)
+    return OnlineSimulation(
+        workload=definition.workload,
+        catalog=definition.catalog,
+        evaluation_frame=definition.evaluation_frame,
+        config=config,
+        feature_names=definition.feature_names,
+    )
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(
+    n_rounds: int = 50,
+    n_simulations: int = 10,
+    n_workers: Optional[int] = None,
+    repeats: int = 3,
+    output: Optional[os.PathLike] = DEFAULT_OUTPUT,
+) -> Dict:
+    """Run all engines, check parity, and (optionally) write the JSON report."""
+    if n_workers is None:
+        n_workers = min(4, os.cpu_count() or 1)
+    total_rounds = n_rounds * n_simulations
+
+    sim = _build_simulation(n_rounds, n_simulations, n_workers=1)
+    _run_per_round_loop(sim, seed_semantics=True)  # warm caches
+    seed_seconds = _time_best(lambda: _run_per_round_loop(sim, seed_semantics=True), repeats)
+
+    serial_result = sim.run()
+    serial_seconds = _time_best(lambda: sim.run(), repeats)
+
+    parallel_sim = _build_simulation(n_rounds, n_simulations, n_workers=n_workers)
+    parallel_result = parallel_sim.run()
+    parallel_seconds = (
+        _time_best(lambda: parallel_sim.run(), repeats) if n_workers > 1 else serial_seconds
+    )
+
+    # Parity 1: process-pool replications must be bit-identical to serial.
+    serial_vs_parallel = bool(
+        np.array_equal(serial_result.rmse, parallel_result.rmse)
+        and np.array_equal(serial_result.accuracy, parallel_result.accuracy)
+    )
+
+    # Parity 2: the batched engine with the full (seed) solver against a
+    # per-round legacy loop with the same fixed semantics.
+    full_sim = _build_simulation(n_rounds, n_simulations, n_workers=1, arm_model="ols_full")
+    full_result = full_sim.run()
+    legacy_rmse, legacy_accuracy = _run_per_round_loop(full_sim, seed_semantics=False)
+    rmse_scale = max(float(np.abs(legacy_rmse).max()), 1e-12)
+    engine_vs_legacy_rmse = float(np.abs(legacy_rmse - full_result.rmse).max() / rmse_scale)
+    engine_vs_legacy_accuracy = float(np.abs(legacy_accuracy - full_result.accuracy).max())
+
+    # Parity 3: incremental vs full solver (identical decisions expected;
+    # transient fp-amplified score differences allowed on ill-conditioned
+    # rounds).
+    inc_vs_full_rmse = float(np.abs(serial_result.rmse - full_result.rmse).max() / rmse_scale)
+    inc_vs_full_final = float(
+        np.abs(serial_result.mean_rmse()[-1] - full_result.mean_rmse()[-1]) / rmse_scale
+    )
+
+    best_seconds = min(serial_seconds, parallel_seconds)
+    report = {
+        "benchmark": "engine_bp3d",
+        "n_rounds": n_rounds,
+        "n_simulations": n_simulations,
+        "n_eval_rows": len(sim._y_eval),
+        "cpu_count": os.cpu_count(),
+        "seed_seconds": seed_seconds,
+        "seed_rounds_per_sec": total_rounds / seed_seconds,
+        "serial_seconds": serial_seconds,
+        "serial_rounds_per_sec": total_rounds / serial_seconds,
+        "parallel_workers": n_workers,
+        "parallel_seconds": parallel_seconds,
+        "parallel_rounds_per_sec": total_rounds / parallel_seconds,
+        "speedup_serial_vs_seed": seed_seconds / serial_seconds,
+        "speedup_best_vs_seed": seed_seconds / best_seconds,
+        "parity": {
+            "serial_vs_parallel_identical": serial_vs_parallel,
+            "engine_vs_legacy_rmse_max_rel_diff": engine_vs_legacy_rmse,
+            "engine_vs_legacy_accuracy_max_abs_diff": engine_vs_legacy_accuracy,
+            "incremental_vs_full_rmse_max_rel_diff": inc_vs_full_rmse,
+            "incremental_vs_full_final_rmse_rel_diff": inc_vs_full_final,
+        },
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=50)
+    parser.add_argument("--simulations", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+    report = run_bench(
+        n_rounds=args.rounds,
+        n_simulations=args.simulations,
+        n_workers=args.workers,
+        repeats=args.repeats,
+        output=args.output,
+    )
+    for key, value in report.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--subsample", type=int, default=None, help="evaluate against a row subsample")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--every", type=int, default=5, help="print every N-th round")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the replications (bit-identical to serial)",
+    )
 
     gen = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to a directory")
     gen.add_argument("dataset", choices=sorted(_DATASET_BUILDERS))
@@ -135,6 +141,7 @@ def _cmd_run_experiment(args, out) -> int:
         n_rounds=args.rounds,
         evaluation_subsample=args.subsample,
         seed=args.seed,
+        n_workers=max(args.workers, 1),
     )
     print(f"running {definition.name}: {definition.description}", file=out)
     outcome = run_experiment(definition)

@@ -95,6 +95,10 @@ class BanditWare:
         model.
     seed:
         Seed for the policy's exploration randomness.
+    track_history:
+        When true (default) every observation is appended to :attr:`history`.
+        The evaluation engine disables this to avoid per-round bookkeeping it
+        never reads; decisions are unaffected.
     """
 
     def __init__(
@@ -105,6 +109,7 @@ class BanditWare:
         tolerance: Optional[ToleranceConfig] = None,
         arm_model_factory: Optional[Callable[[int], ArmModel]] = None,
         seed: SeedLike = None,
+        track_history: bool = True,
     ):
         if not feature_names:
             raise ValueError("feature_names must contain at least one feature")
@@ -118,6 +123,7 @@ class BanditWare:
         self._rng = as_generator(seed)
         self._models: List[ArmModel] = [self._factory(len(names)) for _ in catalog]
         self._history: List[ObservationRecord] = []
+        self.track_history = bool(track_history)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -168,9 +174,27 @@ class BanditWare:
     # ------------------------------------------------------------------ #
     def recommend(self, features: Dict[str, float]) -> Recommendation:
         """Recommend a hardware configuration for one incoming workflow."""
-        context = self.context_vector(features)
+        return self.recommend_vector(self.context_vector(features))
+
+    def recommend_vector(self, context: np.ndarray) -> Recommendation:
+        """Recommend for an already-ordered context vector.
+
+        This is the fast path behind :meth:`recommend`; ``context`` must be a
+        1-D array in :attr:`feature_names` order.  It produces exactly the
+        same decision stream as the dict-based API.
+        """
         decision = self.policy.select(context, self._models, self.catalog, self._rng)
         return Recommendation(hardware=decision.hardware, decision=decision)
+
+    def recommend_batch(self, features_batch: Sequence[Dict[str, float]]) -> List[Recommendation]:
+        """Recommend for a batch of incoming workflows.
+
+        Decisions are identical to calling :meth:`recommend` once per element
+        in order: the policy state (ε schedule, random stream) advances one
+        step per workflow, and no observation happens in between.
+        """
+        contexts = [self.context_vector(features) for features in features_batch]
+        return [self.recommend_vector(context) for context in contexts]
 
     def observe(
         self,
@@ -179,22 +203,107 @@ class BanditWare:
         runtime_seconds: float,
     ) -> None:
         """Feed back the observed runtime of a workflow run on ``hardware``."""
-        runtime_seconds = float(runtime_seconds)
-        if not np.isfinite(runtime_seconds) or runtime_seconds < 0:
-            raise ValueError(
-                f"runtime_seconds must be finite and non-negative, got {runtime_seconds}"
-            )
         context = self.context_vector(features)
-        arm = self.catalog.index_of(hardware)
-        self._models[arm].update(context, runtime_seconds)
+        self.observe_vector(context, hardware, runtime_seconds, features=features)
+
+    def observe_vector(
+        self,
+        context: np.ndarray,
+        hardware: Union[str, HardwareConfig, int],
+        runtime_seconds: float,
+        features: Optional[Dict[str, float]] = None,
+        validate: bool = True,
+    ) -> None:
+        """Feed back one observation given an already-ordered context vector.
+
+        ``hardware`` may also be an arm index.  ``features`` is only used for
+        the history record; when omitted it is reconstructed from the context
+        vector and :attr:`feature_names`.  ``validate=False`` skips the
+        context/runtime checks -- only for callers (the evaluation engine)
+        whose inputs were validated once up front.
+        """
+        if validate:
+            runtime_seconds = float(runtime_seconds)
+            if not np.isfinite(runtime_seconds) or runtime_seconds < 0:
+                raise ValueError(
+                    f"runtime_seconds must be finite and non-negative, got {runtime_seconds}"
+                )
+            context = np.asarray(context, dtype=float)
+            if context.shape != (self.n_features,):
+                raise ValueError(
+                    f"context must have shape ({self.n_features},), got {context.shape}"
+                )
+            if not np.all(np.isfinite(context)):
+                raise ValueError("context contains non-finite values")
+        if isinstance(hardware, int):
+            if not 0 <= hardware < len(self.catalog):
+                raise IndexError(
+                    f"arm index {hardware} out of range for {len(self.catalog)} arms"
+                )
+            arm = hardware
+        else:
+            arm = self.catalog.index_of(hardware)
+        self._models[arm].update_vector(context, runtime_seconds)
         self.policy.observe(arm, context, runtime_seconds)
-        self._history.append(
-            ObservationRecord(
-                features={k: float(v) for k, v in features.items()},
-                hardware=self.catalog[arm].name,
-                runtime_seconds=runtime_seconds,
+        if self.track_history:
+            if features is None:
+                features = dict(zip(self.feature_names, map(float, context)))
+            self._history.append(
+                ObservationRecord(
+                    features={k: float(v) for k, v in features.items()},
+                    hardware=self.catalog[arm].name,
+                    runtime_seconds=runtime_seconds,
+                )
             )
-        )
+
+    def observe_batch(
+        self,
+        features_batch: Sequence[Dict[str, float]],
+        hardware: Sequence[Union[str, HardwareConfig]],
+        runtimes_seconds: Sequence[float],
+    ) -> None:
+        """Feed back a batch of observations in one call.
+
+        The final recommender state is exactly what a sequence of
+        :meth:`observe` calls in the same order would leave behind: per-arm
+        model data is ingested in arrival order and the policy hook runs once
+        per observation.  Only the intermediate per-row model refits are
+        skipped (via :meth:`ArmModel.update_batch`), which is where the batch
+        path earns its speedup.  All rows are validated before any state
+        changes.
+        """
+        if not (len(features_batch) == len(hardware) == len(runtimes_seconds)):
+            raise ValueError(
+                f"batch length mismatch: {len(features_batch)} feature dicts, "
+                f"{len(hardware)} hardware entries, {len(runtimes_seconds)} runtimes"
+            )
+        contexts = [self.context_vector(features) for features in features_batch]
+        if contexts and not np.all(np.isfinite(np.vstack(contexts))):
+            raise ValueError("context contains non-finite values")
+        arms = [self.catalog.index_of(hw) for hw in hardware]
+        runtimes = [float(r) for r in runtimes_seconds]
+        for runtime in runtimes:
+            if not np.isfinite(runtime) or runtime < 0:
+                raise ValueError(
+                    f"runtime_seconds must be finite and non-negative, got {runtime}"
+                )
+        per_arm_X: Dict[int, List[np.ndarray]] = {}
+        per_arm_y: Dict[int, List[float]] = {}
+        for context, arm, runtime in zip(contexts, arms, runtimes):
+            per_arm_X.setdefault(arm, []).append(context)
+            per_arm_y.setdefault(arm, []).append(runtime)
+        for arm, rows in per_arm_X.items():
+            self._models[arm].update_batch(np.vstack(rows), per_arm_y[arm])
+        for features, context, arm, runtime in zip(features_batch, contexts, arms, runtimes):
+            self.policy.observe(arm, context, runtime)
+            if self.track_history:
+                self._history.append(
+                    ObservationRecord(
+                        features={k: float(v) for k, v in features.items()},
+                        hardware=self.catalog[arm].name,
+                        runtime_seconds=runtime,
+                    )
+                )
 
     def step(
         self,
@@ -221,6 +330,21 @@ class BanditWare:
             for hw, model in zip(self.catalog, self._models)
         }
 
+    def predict_runtimes_batch(
+        self, features_batch: Sequence[Dict[str, float]]
+    ) -> np.ndarray:
+        """Estimated runtimes for a batch of workflows on every configuration.
+
+        Returns an ``(n_workflows, n_arms)`` array in catalog arm order,
+        evaluated with each arm's :meth:`~repro.core.models.ArmModel.predict_batch`.
+        """
+        X = np.vstack([self.context_vector(features) for features in features_batch]) \
+            if features_batch else np.empty((0, self.n_features))
+        out = np.empty((X.shape[0], len(self.catalog)))
+        for j, model in enumerate(self._models):
+            out[:, j] = model.predict_batch(X)
+        return out
+
     def best_hardware(
         self, features: Dict[str, float], tolerance: Optional[ToleranceConfig] = None
     ) -> HardwareConfig:
@@ -246,21 +370,27 @@ class BanditWare:
         :attr:`feature_names`, plus the hardware name and runtime columns.
         Rows whose hardware is not in the catalog are skipped.  Returns the
         number of rows ingested.
+
+        Ingestion goes through :meth:`observe_batch`, so each arm's model is
+        refit once for the whole table rather than once per row.
         """
         for column in (hardware_column, runtime_column, *self.feature_names):
             if column not in frame:
                 raise KeyError(
                     f"warm_start frame is missing column {column!r}; columns: {frame.columns}"
                 )
-        ingested = 0
+        features_batch: List[Dict[str, float]] = []
+        hardware: List[str] = []
+        runtimes: List[float] = []
         for row in frame.iterrows():
             hw_name = str(row[hardware_column])
             if hw_name not in self.catalog:
                 continue
-            features = {name: float(row[name]) for name in self.feature_names}
-            self.observe(features, hw_name, float(row[runtime_column]))
-            ingested += 1
-        return ingested
+            features_batch.append({name: float(row[name]) for name in self.feature_names})
+            hardware.append(hw_name)
+            runtimes.append(float(row[runtime_column]))
+        self.observe_batch(features_batch, hardware, runtimes)
+        return len(runtimes)
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:

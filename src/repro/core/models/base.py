@@ -58,9 +58,29 @@ class ArmModel(abc.ABC):
     def update(self, x: Sequence[float] | np.ndarray, runtime: float) -> None:
         """Incorporate one ``(context, observed runtime)`` pair."""
 
+    def update_vector(self, context: np.ndarray, runtime: float) -> None:
+        """Hot-path :meth:`update` for an already-validated context/runtime.
+
+        Callers (the BanditWare façade) guarantee ``context`` is a finite 1-D
+        float array of length :attr:`n_features` and ``runtime`` a finite
+        non-negative float.  The default simply delegates to :meth:`update`.
+        """
+        self.update(context, runtime)
+
     @abc.abstractmethod
     def predict(self, x: Sequence[float] | np.ndarray) -> float:
         """Point estimate of the runtime for context ``x`` (seconds)."""
+
+    def predict_vector(self, context: np.ndarray) -> float:
+        """Point estimate for an already-validated 1-D context vector.
+
+        This is the hot path used by the policies (the façade validates the
+        context once); overrides must stay numerically identical to
+        :meth:`predict`.  The default delegates to :meth:`predict` so custom
+        (possibly non-linear) models stay correct; the built-in linear models
+        override it with validation-free arithmetic.
+        """
+        return float(self.predict(context))
 
     def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
         """A non-negative uncertainty score for the prediction at ``x``.
@@ -83,10 +103,40 @@ class ArmModel(abc.ABC):
         """Current intercept estimate ``b``."""
 
     # ------------------------------------------------------------------ #
-    def predict_many(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`predict` over the rows of ``X``."""
+    def predict_batch(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        """Vectorised point estimates over the rows of an ``(n, m)`` design matrix.
+
+        Every model in the library is linear in the context, so the default
+        implementation evaluates ``X @ w + b`` in one matrix product.
+        Subclasses with extra structure override this (and must stay
+        numerically consistent with calling :meth:`predict` row by row).
+        """
         X = check_feature_matrix(X, name="X", n_features=self.n_features)
-        return np.asarray([self.predict(row) for row in X], dtype=float)
+        return X @ self.coefficients + self.intercept
+
+    def predict_many(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        """Alias of :meth:`predict_batch` (kept for backwards compatibility)."""
+        return self.predict_batch(X)
+
+    def update_batch(
+        self,
+        X: Sequence[Sequence[float]] | np.ndarray,
+        y: Sequence[float] | np.ndarray,
+    ) -> None:
+        """Incorporate many ``(context, runtime)`` pairs at once.
+
+        The default implementation loops over :meth:`update`; models whose
+        refit cost does not depend on the number of new rows (e.g. batch
+        least squares) override this to defer the solve until all rows are
+        ingested, which is exactly equivalent to sequential updates because
+        only the final coefficients are observable.
+        """
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
+        for row, value in zip(X, y):
+            self.update(row, float(value))
 
     def coefficient_dict(self, feature_names: Sequence[str]) -> Dict[str, float]:
         """Named coefficients ``{"w_<feature>": ..., "b": ...}``."""

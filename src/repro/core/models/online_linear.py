@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.models.base import ArmModel
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_feature_matrix, check_positive
 
 __all__ = ["RecursiveLeastSquaresModel"]
 
@@ -82,6 +82,14 @@ class RecursiveLeastSquaresModel(ArmModel):
     def predict(self, x: Sequence[float] | np.ndarray) -> float:
         z = self._augment(x)
         return float(self._theta @ z)
+
+    def predict_vector(self, context: np.ndarray) -> float:
+        z = np.concatenate([np.asarray(context, dtype=float), [1.0]])
+        return float(self._theta @ z)
+
+    def predict_batch(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        return X @ self._theta[:-1] + self._theta[-1]
 
     def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
         """Posterior predictive standard deviation ``σ·sqrt(zᵀA⁻¹z)``."""

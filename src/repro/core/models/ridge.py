@@ -83,6 +83,30 @@ class RidgeModel(ArmModel):
         self._n_observations += 1
         self._refit()
 
+    def update_batch(
+        self,
+        X: Sequence[Sequence[float]] | np.ndarray,
+        y: Sequence[float] | np.ndarray,
+    ) -> None:
+        """Ingest many rows with a single refit at the end.
+
+        The ridge refit recomputes the penalised gram from the stored data, so
+        deferring it until the last row yields exactly the coefficients that a
+        sequence of :meth:`update` calls would leave behind.
+        """
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        y = np.asarray(y, dtype=float)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} values")
+        if y.size and (not np.all(np.isfinite(y)) or np.any(y < 0)):
+            raise ValueError("y must contain finite non-negative runtimes")
+        for row, value in zip(X, y):
+            self._X.append(np.asarray(row, dtype=float))
+            self._y.append(float(value))
+            self._n_observations += 1
+        if len(y):
+            self._refit()
+
     def fit(self, X, y) -> "RidgeModel":
         """Replace stored data with ``(X, y)`` and refit."""
         X = check_feature_matrix(X, name="X", n_features=self.n_features)
@@ -102,6 +126,13 @@ class RidgeModel(ArmModel):
     def predict(self, x: Sequence[float] | np.ndarray) -> float:
         context = self._check_context(x)
         return float(self._w @ context + self._b)
+
+    def predict_vector(self, context: np.ndarray) -> float:
+        return float(self._w @ context + self._b)
+
+    def predict_batch(self, X: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        X = check_feature_matrix(X, name="X", n_features=self.n_features)
+        return X @ self._w + self._b
 
     def uncertainty(self, x: Sequence[float] | np.ndarray) -> float:
         """Ridge-posterior style score ``sqrt(xᵀ (XᵀX + λI)⁻¹ x)``."""

@@ -76,11 +76,30 @@ class BanditPolicy(abc.ABC):
     def estimate_runtimes(
         context: np.ndarray, models: Sequence[ArmModel], catalog: HardwareCatalog
     ) -> Dict[str, float]:
-        """Point-estimate runtimes for every arm, in catalog order."""
+        """Point-estimate runtimes for every arm, in catalog order.
+
+        The context is validated once here (rather than once per arm inside
+        :meth:`ArmModel.predict`); the per-arm evaluation uses the models'
+        raw :meth:`~ArmModel.predict_vector` fast path.
+        """
+        context = np.asarray(context, dtype=float).reshape(-1)
+        if context.size and not np.all(np.isfinite(context)):
+            raise ValueError("context contains non-finite values")
         return {
-            hw.name: float(model.predict(context))
+            hw.name: model.predict_vector(context)
             for hw, model in zip(catalog, models)
         }
+
+    @staticmethod
+    def estimate_runtime_vector(
+        context: np.ndarray, models: Sequence[ArmModel]
+    ) -> np.ndarray:
+        """Per-arm runtime estimates as an array in arm order (hot path)."""
+        return np.fromiter(
+            (model.predict_vector(context) for model in models),
+            dtype=float,
+            count=len(models),
+        )
 
     @property
     def name(self) -> str:

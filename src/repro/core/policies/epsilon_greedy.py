@@ -50,6 +50,18 @@ class DecayingEpsilonGreedyPolicy(BanditPolicy):
         coefficients at zero -- which makes all estimates identical until an
         arm has data -- so a round-robin "seed every arm once" phase is the
         behaviour its ε₀ = 1 start effectively produces, made deterministic.
+    decay_during_seeding:
+        When false (default), ε is *not* decayed on the deterministic
+        seed-unseen-arms rounds: those rounds consume no ε-draw, so decaying
+        there would shift the effective exploration schedule of Algorithm 1
+        by ``|H|`` rounds.  Set true to restore the old (shifted) behaviour.
+    audit_estimates:
+        When true (default), every decision carries the per-arm runtime
+        estimates in ``PolicyDecision.estimates`` even on exploration rounds
+        where they do not influence the choice.  The evaluation engine turns
+        this off: skipping the unused estimates on explore/seed rounds does
+        not change any decision (no random draw is involved) but removes a
+        per-round cost.
     """
 
     def __init__(
@@ -60,6 +72,8 @@ class DecayingEpsilonGreedyPolicy(BanditPolicy):
         cost_model: Optional[ResourceCostModel] = None,
         min_epsilon: float = 0.0,
         explore_unseen_first: bool = True,
+        decay_during_seeding: bool = False,
+        audit_estimates: bool = True,
     ):
         self.epsilon0 = check_probability(epsilon0, "epsilon0")
         self.decay = check_in_range(decay, "decay", 0.0, 1.0, inclusive=True)
@@ -70,8 +84,14 @@ class DecayingEpsilonGreedyPolicy(BanditPolicy):
             )
         self.selector = TolerantSelector(tolerance=tolerance, cost_model=cost_model)
         self.explore_unseen_first = bool(explore_unseen_first)
+        self.decay_during_seeding = bool(decay_during_seeding)
+        self.audit_estimates = bool(audit_estimates)
         self._epsilon = self.epsilon0
         self._round = 0
+        # Arms only ever gain observations within a run, so once every model
+        # has been seen the per-round unseen scan can be skipped; reset()
+        # re-arms it.
+        self._all_seen = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -86,6 +106,7 @@ class DecayingEpsilonGreedyPolicy(BanditPolicy):
     def reset(self) -> None:
         self._epsilon = self.epsilon0
         self._round = 0
+        self._all_seen = False
 
     # ------------------------------------------------------------------ #
     def select(
@@ -99,28 +120,49 @@ class DecayingEpsilonGreedyPolicy(BanditPolicy):
             raise ValueError(
                 f"got {len(models)} models for {len(catalog)} hardware configurations"
             )
-        estimates = self.estimate_runtimes(context, models, catalog)
         epsilon_used = self._epsilon
         explored = False
+        seeded = False
+        estimates: Dict[str, float] = {}
         detail: Dict[str, float] = {"epsilon": epsilon_used, "round": float(self._round)}
 
-        unseen = [i for i, model in enumerate(models) if not model.is_fitted]
+        if self.explore_unseen_first and not self._all_seen:
+            unseen = [i for i, model in enumerate(models) if not model.is_fitted]
+            if not unseen:
+                self._all_seen = True
+        else:
+            unseen = []
         if self.explore_unseen_first and unseen:
             arm = int(unseen[0])
             explored = True
+            seeded = True
             detail["seeded_unseen_arm"] = 1.0
         elif float(rng.random()) < epsilon_used:
             arm = int(rng.integers(len(catalog)))
             explored = True
-        else:
+        elif self.audit_estimates:
+            estimates = self.estimate_runtimes(context, models, catalog)
             outcome: SelectionOutcome = self.selector.select(catalog, estimates)
             arm = catalog.index_of(outcome.chosen)
             detail["tolerance_limit"] = outcome.limit
             detail["n_candidates"] = float(len(outcome.candidates))
             detail["traded_runtime"] = outcome.traded_runtime
+        else:
+            # Hot path: identical decisions to the dict-based selector (see
+            # TolerantSelector.select_index), minus the audit bookkeeping.
+            values = self.estimate_runtime_vector(context, models)
+            arm, fastest, limit, n_candidates = self.selector.select_index(catalog, values)
+            detail["tolerance_limit"] = limit
+            detail["n_candidates"] = float(n_candidates)
+            detail["traded_runtime"] = float(values[arm] - values[fastest])
+        if not estimates and self.audit_estimates:
+            estimates = self.estimate_runtimes(context, models, catalog)
 
-        # Decay ε regardless of which branch ran (Algorithm 1, line 12).
-        self._epsilon = max(self.min_epsilon, self._epsilon * self.decay)
+        # Decay ε after every round that ran the genuine ε-draw branch
+        # (Algorithm 1, line 12).  Deterministic seeding rounds consume no
+        # ε-draw, so by default they do not advance the schedule.
+        if not seeded or self.decay_during_seeding:
+            self._epsilon = max(self.min_epsilon, self._epsilon * self.decay)
         self._round += 1
 
         return PolicyDecision(

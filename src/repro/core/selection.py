@@ -47,9 +47,32 @@ class ToleranceConfig:
         check_non_negative(self.ratio, "tolerance ratio")
         check_non_negative(self.seconds, "tolerance seconds")
 
-    def limit(self, fastest_estimate: float) -> float:
-        """``R_limit`` for a given estimated-fastest runtime."""
-        return (1.0 + self.ratio) * fastest_estimate + self.seconds
+    def limit(self, fastest_estimate: float | np.ndarray) -> float | np.ndarray:
+        """``R_limit`` for a given estimated-fastest runtime.
+
+        Accepts a scalar or an array of fastest estimates (the vectorised
+        scorer passes one per evaluation workflow).
+
+        The threshold is clamped to never fall below the fastest estimate
+        itself: early under-determined linear fits can predict a *negative*
+        fastest runtime, and ``(1 + ratio) · R̂`` with ``R̂ < 0`` would then
+        shrink the window so far that even the estimated-fastest arm fails to
+        qualify.  The fastest arm must always be a candidate.
+        """
+        if isinstance(fastest_estimate, (int, float)):
+            fastest = float(fastest_estimate)
+            raw = (1.0 + self.ratio) * fastest + self.seconds
+            return raw if raw >= fastest else fastest
+        fastest = np.asarray(fastest_estimate, dtype=float)
+        if self.ratio == 0.0 and self.seconds == 0.0:
+            # Strict tolerance: the limit is the fastest estimate itself.
+            clamped = fastest
+        else:
+            raw = (1.0 + self.ratio) * fastest + self.seconds
+            clamped = np.maximum(raw, fastest)
+        if np.ndim(fastest_estimate) == 0:
+            return float(clamped)
+        return clamped
 
     @property
     def is_strict(self) -> bool:
@@ -106,8 +129,52 @@ class TolerantSelector:
     ):
         self.tolerance = tolerance or ToleranceConfig()
         self.cost_model = cost_model or ResourceCostModel()
+        self._order_cache: dict = {}
 
     # ------------------------------------------------------------------ #
+    def efficiency_order(self, catalog: HardwareCatalog) -> np.ndarray:
+        """Arm indices sorted most-efficient first (cached per catalog).
+
+        The ordering (including tie-breaks) is exactly the one
+        :meth:`ResourceCostModel.rank` produces, so picking the first
+        candidate in this order equals
+        :meth:`ResourceCostModel.most_efficient` over the candidate set.
+        """
+        key = id(catalog)
+        cached = self._order_cache.get(key)
+        if cached is None or cached[0] is not catalog:
+            order = np.asarray(
+                [catalog.index_of(hw) for hw in self.cost_model.rank(catalog)],
+                dtype=np.intp,
+            )
+            cached = (catalog, order)
+            self._order_cache = {key: cached}
+        return cached[1]
+
+    def select_index(self, catalog: HardwareCatalog, values: np.ndarray) -> tuple:
+        """Array-based tolerant selection (the policies' hot path).
+
+        ``values`` are per-arm runtime estimates in catalog order.  Returns
+        ``(chosen_arm, fastest_arm, limit, n_candidates)`` and makes exactly
+        the same choice as :meth:`select` on the same estimates.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape[0] != len(catalog):
+            raise ValueError(f"expected {len(catalog)} estimates, got {values.shape[0]}")
+        # A finite sum implies all-finite; the detailed scan only runs when
+        # the cheap scalar check trips (non-finite entries or fp overflow).
+        if not np.isfinite(values.sum()) and not np.all(np.isfinite(values)):
+            bad = {catalog[int(i)].name: float(values[i]) for i in np.flatnonzero(~np.isfinite(values))}
+            raise ValueError(f"runtime estimates must be finite, got {bad}")
+        fastest = int(np.argmin(values))
+        limit = self.tolerance.limit(float(values[fastest]))
+        mask = values <= limit
+        chosen = fastest
+        for arm in self.efficiency_order(catalog):
+            if mask[arm]:
+                chosen = int(arm)
+                break
+        return chosen, fastest, limit, int(mask.sum())
     def select(
         self,
         catalog: HardwareCatalog,

@@ -89,12 +89,14 @@ def build_experiment(
     n_rounds: Optional[int] = None,
     evaluation_subsample: Optional[int] = None,
     seed: int = 0,
+    n_workers: int = 1,
 ) -> ExperimentDefinition:
     """Build a named experiment definition.
 
     ``n_simulations`` / ``n_rounds`` default to the paper's settings for that
     experiment but can be reduced for quick runs (the test suite uses small
-    values; the benchmarks use the paper's).
+    values; the benchmarks use the paper's).  ``n_workers > 1`` runs the
+    replications in a process pool, bit-identical to the serial path.
     """
     if name == "cycles_synthetic":
         bundle = build_cycles_dataset()
@@ -104,6 +106,7 @@ def build_experiment(
             tolerance_seconds=20.0,
             evaluation_subsample=evaluation_subsample,
             seed=seed,
+            n_workers=n_workers,
         )
         return ExperimentDefinition(
             name=name,
@@ -124,6 +127,7 @@ def build_experiment(
             n_simulations=n_simulations or 100,
             evaluation_subsample=evaluation_subsample,
             seed=seed,
+            n_workers=n_workers,
         )
         reference = "Figures 7a, 7b" if name == "bp3d_all_features" else "Figure 6"
         return ExperimentDefinition(
@@ -159,6 +163,7 @@ def build_experiment(
             tolerance_ratio=tolerance_ratio,
             evaluation_subsample=evaluation_subsample,
             seed=seed,
+            n_workers=n_workers,
         )
         return ExperimentDefinition(
             name=name,

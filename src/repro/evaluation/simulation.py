@@ -15,10 +15,28 @@ fixed evaluation dataset:
 The whole run is repeated ``n_simulations`` times with independent random
 streams; the figures plot the per-round mean and spread, against the
 *full-fit* reference (per-arm least squares on the entire dataset).
+
+Engine notes
+------------
+The online loop itself is inherently sequential (each decision depends on the
+previous observation through both the models and the random stream), but
+everything around it is batched:
+
+* per-round scoring is deferred -- each replication records the per-round
+  coefficient matrices and scores **all** rounds against the evaluation set
+  with a handful of large matrix products at the end (``_score_series``);
+* per-arm model refits are incremental (see
+  :class:`~repro.core.models.LeastSquaresModel`);
+* replications are independent and can run in a process pool
+  (``SimulationConfig(n_workers=...)``).  Each replication is driven by its
+  own :class:`~numpy.random.SeedSequence` child, so the parallel path is
+  bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +63,9 @@ __all__ = ["SimulationConfig", "SimulationResult", "OnlineSimulation"]
 
 _ARM_MODEL_FACTORIES: Dict[str, Callable[[int], ArmModel]] = {
     "ols": lambda m: LeastSquaresModel(m),
+    # The seed implementation's literal per-round lstsq refit; kept as the
+    # reference/baseline for the incremental default (see bench_engine).
+    "ols_full": lambda m: LeastSquaresModel(m, solver="full"),
     "ridge": lambda m: RidgeModel(m, alpha=1.0),
     "rls": lambda m: RecursiveLeastSquaresModel(m, regularization=1.0),
 }
@@ -69,12 +90,20 @@ class SimulationConfig:
     evaluation_subsample: Optional[int] = None
     normalize_features: bool = True
     seed: int = 0
+    #: Number of worker processes for the replication loop.  ``1`` (default)
+    #: runs serially in-process; ``n`` runs replications in a pool of ``n``
+    #: processes with bit-identical results (each replication owns an
+    #: independent child seed).  Falls back to threads where process pools
+    #: are unavailable (e.g. sandboxed environments).
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {self.n_rounds}")
         if self.n_simulations < 1:
             raise ValueError(f"n_simulations must be >= 1, got {self.n_simulations}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.policy not in ("epsilon_greedy", "greedy", "random", "linucb", "thompson"):
             raise ValueError(f"unknown policy {self.policy!r}")
         if self.arm_model not in _ARM_MODEL_FACTORIES:
@@ -89,10 +118,18 @@ class SimulationConfig:
         return ToleranceConfig(ratio=self.tolerance_ratio, seconds=self.tolerance_seconds)
 
     def make_policy(self) -> BanditPolicy:
-        """Instantiate the configured policy."""
+        """Instantiate the configured policy.
+
+        The engine's policies skip the audit-only estimate bookkeeping on
+        exploration rounds (``audit_estimates=False``); this does not change
+        any decision.
+        """
         if self.policy == "epsilon_greedy":
             return DecayingEpsilonGreedyPolicy(
-                epsilon0=self.epsilon0, decay=self.decay, tolerance=self.tolerance
+                epsilon0=self.epsilon0,
+                decay=self.decay,
+                tolerance=self.tolerance,
+                audit_estimates=False,
             )
         if self.policy == "greedy":
             return GreedyPolicy(tolerance=self.tolerance)
@@ -294,24 +331,46 @@ class OnlineSimulation:
         self._hw_idx = np.asarray(
             [self.catalog.index_of(str(name)) for name in hardware_names], dtype=int
         )
-        # Ground-truth expected runtimes of every evaluation workflow on every arm.
+        # Ground-truth expected runtimes (and noise scales) of every
+        # evaluation workflow on every arm.  The noise matrix feeds the
+        # engine's replay fast path: when a round replays pool row ``i`` on
+        # arm ``j``, the observation is ``max(normal(truth, sigma), ...)``
+        # exactly as WorkloadModel.observed_runtime computes it.
         n_eval, n_arms = len(frame), len(self.catalog)
         truth = np.empty((n_eval, n_arms))
+        sigma = np.empty((n_eval, n_arms))
         for i, row in enumerate(frame.iterrows()):
             features = {name: float(row[name]) for name in self.workload.feature_names if name in row}
             for j, hw in enumerate(self.catalog):
                 truth[i, j] = self.workload.expected_runtime(features, hw)
+                sigma[i, j] = self.workload.noise_scale(features, hw)
         self._truth = truth
+        self._pool_sigma = sigma
+        # The replay fast path is only valid when observations come from the
+        # pool AND the workload has not customised observed_runtime.
+        self._env_fast = (
+            self.sample_from_frame
+            and type(self.workload).observed_runtime is WorkloadModel.observed_runtime
+        )
         # Efficiency ranking of arms (lower rank = more resource-efficient).
         footprints = np.asarray([self.cost_model.footprint(hw) for hw in self.catalog])
         order = np.argsort(footprints, kind="stable")
         ranks = np.empty(n_arms, dtype=float)
         ranks[order] = np.arange(n_arms)
         self._efficiency_rank = ranks
+        # Arms sorted most-efficient first, and each arm's position in that
+        # order -- the batched scorer works in efficiency-ordered arm layout.
+        self._efficiency_order = order.astype(np.intp)
+        inverse = np.empty(n_arms, dtype=np.intp)
+        inverse[order] = np.arange(n_arms)
+        self._efficiency_pos = inverse
         # Acceptable arms per evaluation workflow under the configured tolerance.
         tol = self.config.tolerance
         limits = tol.limit(truth.min(axis=1))
         self._acceptable = truth <= limits[:, None]
+        # Layouts used by the batched scorer: features x rows, arms x rows.
+        self._XT_eval = np.ascontiguousarray(self._X_eval.T)
+        self._acceptable_T = np.ascontiguousarray(self._acceptable.T)
         # Workflow replay pool: the features of every evaluation row, in the
         # workload's own feature space (used when sample_from_frame is true).
         self._workflow_pool = [
@@ -322,6 +381,9 @@ class OnlineSimulation:
             }
             for row in frame.iterrows()
         ]
+        # Scaled context vector of every pool row (row i of the standardised
+        # evaluation matrix is exactly _scale_context(pool[i]) in vector form).
+        self._pool_contexts = self._X_eval
 
     # ------------------------------------------------------------------ #
     def _coefficient_matrices(self, bandit: BanditWare) -> Tuple[np.ndarray, np.ndarray]:
@@ -331,20 +393,74 @@ class OnlineSimulation:
 
     def _score_models(self, W: np.ndarray, b: np.ndarray) -> Tuple[float, float]:
         """Vectorised RMSE + tolerant-selection accuracy on the evaluation set."""
-        predictions_all = self._X_eval @ W.T + b  # (n_eval, n_arms)
-        predicted = predictions_all[np.arange(len(self._y_eval)), self._hw_idx]
-        rmse_value = float(np.sqrt(np.mean((self._y_eval - predicted) ** 2)))
+        rmse, accuracy = self._score_series(W[None, :, :], np.asarray(b, dtype=float)[None, :])
+        return float(rmse[0]), float(accuracy[0])
 
+    def _score_series(self, W_hist: np.ndarray, b_hist: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Score a whole series of per-round coefficient matrices at once.
+
+        ``W_hist`` has shape ``(n_rounds, n_arms, n_features)`` and ``b_hist``
+        ``(n_rounds, n_arms)``.  Returns per-round RMSE and accuracy arrays.
+        Rounds are processed in chunks so the ``(rounds, n_eval, n_arms)``
+        prediction tensor stays within a bounded memory footprint.
+        """
+        R = W_hist.shape[0]
+        E = len(self._y_eval)
+        K = W_hist.shape[1]
+        rows = np.arange(E)
+        rmse = np.empty(R)
+        accuracy = np.empty(R)
         tol = self.config.tolerance
-        fastest = predictions_all.min(axis=1)
-        limit = tol.limit(fastest)
-        candidates = predictions_all <= limit[:, None]
-        # Among candidate arms pick the most resource-efficient one.
-        rank_matrix = np.where(candidates, self._efficiency_rank[None, :], np.inf)
-        chosen = rank_matrix.argmin(axis=1)
-        correct = self._acceptable[np.arange(len(chosen)), chosen]
-        accuracy_value = float(np.mean(correct))
-        return rmse_value, accuracy_value
+        strict = tol.is_strict
+        order = self._efficiency_order
+        # Position of each evaluation row's own arm in efficiency-ordered layout.
+        own_pos = self._efficiency_pos[self._hw_idx]
+        # Correctness of each (efficiency-ordered) arm per evaluation row;
+        # boolean planes keep the selection logic byte-wide.
+        acceptable_ord = self._acceptable_T[order]
+        chunk = max(1, int(4_000_000 // max(E * K, 1)))
+        for start in range(0, R, chunk):
+            stop = min(start + chunk, R)
+            n_chunk = stop - start
+            # Work with arms sorted most-efficient first: picking the first
+            # candidate along that axis IS the most-efficient-candidate rule.
+            W_ord = W_hist[start:stop][:, order, :]
+            b_ord = b_hist[start:stop][:, order]
+            # One large GEMM instead of `n_chunk` tiny batched ones:
+            # (r*k, m) @ (m, e), then viewed as (r, k, e).
+            flat = W_ord.reshape(n_chunk * K, -1) @ self._XT_eval
+            flat += b_ord.reshape(n_chunk * K, 1)
+            preds = flat.reshape(n_chunk, K, E)
+            predicted = preds[:, own_pos, rows]
+            diff = predicted - self._y_eval
+            rmse[start:stop] = np.sqrt(np.einsum("re,re->r", diff, diff) / E)
+
+            if strict and K == 3:
+                # Strict tolerance, three arms (the paper's NDP triple): the
+                # chosen arm is the efficiency-first minimum, resolvable with
+                # two pairwise comparisons and no explicit min/limit planes.
+                p0, p1, p2 = preds[:, 0, :], preds[:, 1, :], preds[:, 2, :]
+                c0 = (p0 <= p1) & (p0 <= p2)
+                c1 = p1 <= p2
+                correct = (c0 & acceptable_ord[0]) | (
+                    ~c0 & ((c1 & acceptable_ord[1]) | (~c1 & acceptable_ord[2]))
+                )
+            else:
+                # Reduce over the (small) arm axis as a chain of elementwise
+                # minima on contiguous planes -- faster than a strided reduce.
+                fastest = preds[:, 0, :].copy()
+                for pos in range(1, K):
+                    np.minimum(fastest, preds[:, pos, :], out=fastest)
+                limit = np.asarray(tol.limit(fastest))
+                # First candidate in efficiency order wins; the clamped
+                # tolerance limit guarantees at least one.
+                correct = np.broadcast_to(acceptable_ord[K - 1], (n_chunk, E))
+                for pos in range(K - 2, -1, -1):
+                    correct = np.where(
+                        preds[:, pos, :] <= limit, acceptable_ord[pos], correct
+                    )
+            accuracy[start:stop] = np.count_nonzero(correct, axis=1) / E
+        return rmse, accuracy
 
     def _scale_context(self, features: Dict[str, float]) -> Dict[str, float]:
         """Apply the evaluation-set standardisation to one workflow's features."""
@@ -369,32 +485,109 @@ class OnlineSimulation:
         return self._score_models(W, b)
 
     # ------------------------------------------------------------------ #
+    def _run_replication(self, seed_seq: np.random.SeedSequence) -> Tuple[np.ndarray, np.ndarray]:
+        """Play one replication and return its per-round ``(rmse, accuracy)``.
+
+        The online loop runs sequentially (each decision feeds the next), but
+        scoring is deferred: the per-round coefficient matrices are recorded
+        (only the observed arm's row changes per round) and the whole series
+        is scored in one batched pass at the end.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(seed_seq)
+        bandit = BanditWare(
+            catalog=self.catalog,
+            feature_names=self.feature_names,
+            policy=cfg.make_policy(),
+            arm_model_factory=cfg.make_arm_model_factory(),
+            seed=rng,
+            track_history=False,
+        )
+        models = bandit.models
+        n_arms = len(self.catalog)
+        n_pool = len(self._workflow_pool)
+        sample_from_frame = self.sample_from_frame
+        env_fast = self._env_fast
+        truth = self._truth
+        pool_sigma = self._pool_sigma
+        pool_contexts = self._pool_contexts
+        recommend = bandit.recommend_vector
+        observe = bandit.observe_vector
+        W_hist = np.zeros((cfg.n_rounds, n_arms, len(self.feature_names)))
+        b_hist = np.zeros((cfg.n_rounds, n_arms))
+        for round_idx in range(cfg.n_rounds):
+            if sample_from_frame:
+                pool_idx = int(rng.integers(n_pool))
+                context = pool_contexts[pool_idx]
+            else:
+                features = self.workload.sample_features(rng)
+                context = np.asarray(
+                    [
+                        (float(features[name]) - self._feature_mean[i]) / self._feature_std[i]
+                        for i, name in enumerate(self.feature_names)
+                    ]
+                )
+            recommendation = recommend(context)
+            arm = recommendation.decision.arm_index
+            if env_fast:
+                # Inlined WorkloadModel.observed_runtime on precomputed
+                # expectation/noise matrices (identical draws and clamping).
+                mean = truth[pool_idx, arm]
+                noise = pool_sigma[pool_idx, arm]
+                value = float(rng.normal(mean, noise)) if noise > 0 else mean
+                runtime = max(value, 0.01 * mean, 0.0)
+            else:
+                if sample_from_frame:
+                    features = self._workflow_pool[pool_idx]
+                runtime = self.workload.observed_runtime(features, recommendation.hardware, rng)
+            # Contexts come from the validated evaluation arrays (or the
+            # workload sampler) and runtimes from observed_runtime's clamp,
+            # so the engine skips per-round re-validation.
+            observe(context, arm, float(runtime), validate=False)
+            if round_idx:
+                W_hist[round_idx] = W_hist[round_idx - 1]
+                b_hist[round_idx] = b_hist[round_idx - 1]
+            W_hist[round_idx, arm] = models[arm].coefficients
+            b_hist[round_idx, arm] = models[arm].intercept
+        return self._score_series(W_hist, b_hist)
+
+    def _run_parallel(
+        self, sequences: List[np.random.SeedSequence], n_workers: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Run the replications in a process pool (thread fallback).
+
+        Results are ordered like ``sequences``, so they are bit-identical to
+        the serial path regardless of scheduling.
+        """
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_engine_worker_init,
+                initargs=(self,),
+            ) as executor:
+                return list(executor.map(_engine_worker_run, sequences))
+        except (OSError, PermissionError, ImportError, BrokenExecutor,
+                pickle.PicklingError, AttributeError, TypeError):
+            # Process pools can be unavailable (restricted sandboxes, exotic
+            # platforms) or the simulation unpicklable (custom workloads with
+            # closures on spawn-start platforms); threads preserve
+            # correctness, if not parallel speed.  A genuine bug inside
+            # _run_replication re-raises from the thread fallback.
+            with ThreadPoolExecutor(max_workers=n_workers) as executor:
+                return list(executor.map(self._run_replication, sequences))
+
     def run(self) -> SimulationResult:
         """Run all replications and return the collected series."""
         cfg = self.config
         pool = SeedSequencePool(cfg.seed)
-        rmse_series = np.empty((cfg.n_simulations, cfg.n_rounds))
-        accuracy_series = np.empty((cfg.n_simulations, cfg.n_rounds))
-        for sim in range(cfg.n_simulations):
-            rng = pool.generator(sim)
-            bandit = BanditWare(
-                catalog=self.catalog,
-                feature_names=self.feature_names,
-                policy=cfg.make_policy(),
-                arm_model_factory=cfg.make_arm_model_factory(),
-                seed=rng,
-            )
-            for round_idx in range(cfg.n_rounds):
-                if self.sample_from_frame:
-                    features = dict(self._workflow_pool[int(rng.integers(len(self._workflow_pool)))])
-                else:
-                    features = self.workload.sample_features(rng)
-                context_features = self._scale_context(features)
-                recommendation = bandit.recommend(context_features)
-                runtime = self.workload.observed_runtime(features, recommendation.hardware, rng)
-                bandit.observe(context_features, recommendation.hardware, runtime)
-                W, b = self._coefficient_matrices(bandit)
-                rmse_series[sim, round_idx], accuracy_series[sim, round_idx] = self._score_models(W, b)
+        sequences = [pool.sequence(i) for i in range(cfg.n_simulations)]
+        n_workers = min(cfg.n_workers, cfg.n_simulations)
+        if n_workers > 1:
+            outcomes = self._run_parallel(sequences, n_workers)
+        else:
+            outcomes = [self._run_replication(seq) for seq in sequences]
+        rmse_series = np.vstack([rmse for rmse, _ in outcomes])
+        accuracy_series = np.vstack([acc for _, acc in outcomes])
         reference_rmse, reference_accuracy = self._reference_scores()
         return SimulationResult(
             rmse=rmse_series,
@@ -404,3 +597,19 @@ class OnlineSimulation:
             random_accuracy=1.0 / len(self.catalog),
             config=cfg,
         )
+
+
+# --------------------------------------------------------------------- #
+# Process-pool plumbing.  The simulation object is shipped to each worker
+# once (via the initializer) instead of once per replication.
+_WORKER_SIMULATION: Optional[OnlineSimulation] = None
+
+
+def _engine_worker_init(simulation: OnlineSimulation) -> None:
+    global _WORKER_SIMULATION
+    _WORKER_SIMULATION = simulation
+
+
+def _engine_worker_run(seed_seq: np.random.SeedSequence) -> Tuple[np.ndarray, np.ndarray]:
+    assert _WORKER_SIMULATION is not None, "worker used before initialisation"
+    return _WORKER_SIMULATION._run_replication(seed_seq)

@@ -151,6 +151,83 @@ class RecommendationService:
         )
         return ticket
 
+    def submit_workflows(
+        self, application: str, features_batch: Sequence[Dict[str, float]]
+    ) -> List[WorkflowTicket]:
+        """Batch recommendations for many workflows of one application.
+
+        Decisions are identical to calling :meth:`submit_workflow` once per
+        element in order (the recommender's policy state advances one step
+        per workflow); tickets are issued in submission order.
+        """
+        recommender = self.recommender_for(application)
+        recommendations = recommender.recommend_batch(list(features_batch))
+        tickets: List[WorkflowTicket] = []
+        for features, recommendation in zip(features_batch, recommendations):
+            ticket = WorkflowTicket(
+                ticket_id=f"wf-{next(self._ticket_counter):06d}",
+                application=application,
+                features={k: float(v) for k, v in features.items()},
+                recommendation=recommendation,
+            )
+            self._tickets[ticket.ticket_id] = ticket
+            tickets.append(ticket)
+        self.log.record(
+            "service",
+            "recommendation_batch",
+            application=application,
+            tickets=len(tickets),
+            hardware=[t.recommendation.hardware.name for t in tickets],
+        )
+        return tickets
+
+    def complete_workflows(self, completions: Sequence[tuple]) -> None:
+        """Report many ``(ticket_id, runtime_seconds)`` completions at once.
+
+        Observations are fed to each application's recommender through
+        :meth:`BanditWare.observe_batch` (one model refit per arm instead of
+        one per ticket); the final recommender state, run history, and ticket
+        bookkeeping are exactly those of sequential
+        :meth:`complete_workflow` calls in the same order.
+        """
+        resolved = []
+        seen = set()
+        for ticket_id, runtime_seconds in completions:
+            if ticket_id not in self._tickets:
+                raise KeyError(f"unknown ticket {ticket_id!r}")
+            if ticket_id in seen:
+                raise ValueError(f"ticket {ticket_id!r} appears twice in the batch")
+            seen.add(ticket_id)
+            ticket = self._tickets[ticket_id]
+            if ticket.completed:
+                raise ValueError(f"ticket {ticket_id!r} was already completed")
+            resolved.append((ticket, float(runtime_seconds)))
+        by_application: Dict[str, List[tuple]] = {}
+        for ticket, runtime in resolved:
+            by_application.setdefault(ticket.application, []).append((ticket, runtime))
+        for application, batch in by_application.items():
+            recommender = self.recommender_for(application)
+            recommender.observe_batch(
+                [ticket.features for ticket, _ in batch],
+                [ticket.recommendation.hardware for ticket, _ in batch],
+                [runtime for _, runtime in batch],
+            )
+        for ticket, runtime in resolved:
+            ticket.completed = True
+            ticket.observed_runtime = runtime
+            self.history.add(
+                RunRecord(
+                    run_id=ticket.ticket_id,
+                    application=ticket.application,
+                    hardware=ticket.recommendation.hardware.name,
+                    runtime_seconds=runtime,
+                    features=ticket.features,
+                )
+            )
+        self.log.record(
+            "service", "workflow_completed_batch", tickets=len(resolved)
+        )
+
     def complete_workflow(self, ticket_id: str, runtime_seconds: float) -> None:
         """Report a workflow's observed runtime so the recommender can learn."""
         if ticket_id not in self._tickets:

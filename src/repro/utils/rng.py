@@ -111,12 +111,23 @@ class SeedSequencePool:
         while len(self._children) <= index:
             self._children.extend(self._root.spawn(max(1, index + 1 - len(self._children))))
 
-    def generator(self, index: int) -> np.random.Generator:
-        """Return the generator for child ``index`` (created lazily)."""
+    def sequence(self, index: int) -> np.random.SeedSequence:
+        """Return the child :class:`~numpy.random.SeedSequence` for ``index``.
+
+        Seed sequences (unlike generators) are cheap to pickle, which is how
+        the parallel evaluation engine ships replication seeds to worker
+        processes while staying bit-identical to the serial path:
+        ``default_rng(pool.sequence(i))`` and ``pool.generator(i)`` produce
+        the same stream.
+        """
         if index < 0:
             raise ValueError(f"index must be non-negative, got {index}")
         self._ensure(index)
-        return np.random.default_rng(self._children[index])
+        return self._children[index]
+
+    def generator(self, index: int) -> np.random.Generator:
+        """Return the generator for child ``index`` (created lazily)."""
+        return np.random.default_rng(self.sequence(index))
 
     def generators(self, n: int) -> List[np.random.Generator]:
         """Return generators for children ``0 .. n-1``."""

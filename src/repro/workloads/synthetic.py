@@ -69,7 +69,9 @@ class LinearRuntimeWorkload(WorkloadModel):
                 )
             self._coefficients[hw_name] = ({k: float(v) for k, v in w.items()}, float(b))
         self.noise_sigma = float(noise_sigma)
-        self.nonlinearity = nonlinearity or (lambda v: v)
+        # ``None`` means identity; storing it (instead of a lambda) keeps the
+        # workload picklable, which the parallel evaluation engine relies on.
+        self.nonlinearity = nonlinearity
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -130,7 +132,8 @@ class LinearRuntimeWorkload(WorkloadModel):
             )
         w, b = self._coefficients[hardware.name]
         value = b + sum(w[name] * float(features[name]) for name in self.feature_names)
-        value = self.nonlinearity(value)
+        if self.nonlinearity is not None:
+            value = self.nonlinearity(value)
         return max(float(value), 0.0)
 
     def noise_scale(self, features: Dict[str, float], hardware: HardwareConfig) -> float:

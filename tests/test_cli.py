@@ -63,6 +63,17 @@ class TestRunExperiment:
         assert "summary" in output
         assert "final_accuracy_mean" in output
 
+    def test_workers_flag_matches_serial_output(self):
+        args = (
+            "run-experiment", "cycles_synthetic",
+            "--rounds", "8", "--simulations", "2",
+            "--subsample", "40", "--every", "4", "--seed", "1",
+        )
+        code_serial, output_serial = run_cli(*args, "--workers", "1")
+        code_parallel, output_parallel = run_cli(*args, "--workers", "2")
+        assert code_serial == code_parallel == 0
+        assert output_serial == output_parallel
+
 
 class TestGenerateAndRecommend:
     def test_generate_dataset_writes_files(self, tmp_path):

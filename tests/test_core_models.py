@@ -52,6 +52,31 @@ class TestLeastSquaresModel:
         preds = model.predict_many(X[:5])
         assert preds.shape == (5,)
 
+    def test_predict_batch_matches_per_row_predict(self, rng):
+        X, y = _generate_linear_data(rng)
+        for model in (
+            LeastSquaresModel(2).fit(X, y),
+            RidgeModel(2, alpha=0.5).fit(X, y),
+        ):
+            batch = model.predict_batch(X[:10])
+            scalar = np.asarray([model.predict(row) for row in X[:10]])
+            assert np.allclose(batch, scalar, rtol=1e-12)
+
+    def test_rls_predict_batch_matches_per_row_predict(self, rng):
+        X, y = _generate_linear_data(rng)
+        model = RecursiveLeastSquaresModel(2)
+        for xi, yi in zip(X, y):
+            model.update(xi, yi)
+        batch = model.predict_batch(X[:10])
+        scalar = np.asarray([model.predict(row) for row in X[:10]])
+        assert np.allclose(batch, scalar, rtol=1e-12)
+
+    def test_solver_validation(self):
+        with pytest.raises(ValueError):
+            LeastSquaresModel(2, solver="bogus")
+        clone = LeastSquaresModel(2, solver="full").clone_unfitted()
+        assert clone.solver == "full"
+
     def test_no_intercept_mode(self, rng):
         X, y = _generate_linear_data(rng, b=0.0)
         model = LeastSquaresModel(2, fit_intercept=False).fit(X, y)

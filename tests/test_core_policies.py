@@ -80,6 +80,27 @@ class TestDecayingEpsilonGreedy:
             fresh[decision.arm_index].update([1.0], 10.0)
         assert sorted(chosen) == [0, 1, 2]
 
+    def test_epsilon_not_decayed_during_seeding(self, catalog, rng):
+        # Regression: the deterministic seed-unseen-arms rounds consume no
+        # ε-draw, so they must not advance the Algorithm 1 decay schedule.
+        fresh = [LeastSquaresModel(1) for _ in catalog]
+        policy = DecayingEpsilonGreedyPolicy(epsilon0=1.0, decay=0.9)
+        for _ in range(3):
+            decision = policy.select(np.array([1.0]), fresh, catalog, rng)
+            fresh[decision.arm_index].update([1.0], 10.0)
+            assert policy.epsilon == 1.0  # |H| seeding rounds leave ε at ε₀
+        for genuine_rounds in range(1, 4):
+            policy.select(np.array([1.0]), fresh, catalog, rng)
+            assert policy.epsilon == pytest.approx(0.9**genuine_rounds)
+
+    def test_epsilon_decay_during_seeding_flag_restores_shifted_schedule(self, catalog, rng):
+        fresh = [LeastSquaresModel(1) for _ in catalog]
+        policy = DecayingEpsilonGreedyPolicy(epsilon0=1.0, decay=0.9, decay_during_seeding=True)
+        for seeded_rounds in range(1, 4):
+            decision = policy.select(np.array([1.0]), fresh, catalog, rng)
+            fresh[decision.arm_index].update([1.0], 10.0)
+            assert policy.epsilon == pytest.approx(0.9**seeded_rounds)
+
     def test_tolerance_trades_runtime_for_efficiency(self, catalog, rng):
         # H2 fastest, H0 within 20 s: exploitation should pick H0.
         models = _fitted_models(catalog, slopes=[2.0, 5.0, 1.0], intercepts=[10.0, 10.0, 10.0])

@@ -30,6 +30,23 @@ class TestToleranceConfig:
         with pytest.raises(ValueError):
             ToleranceConfig(seconds=-1.0)
 
+    def test_limit_clamped_for_negative_fastest_estimate(self):
+        # Regression: early under-determined fits can predict a *negative*
+        # fastest runtime; (1 + ratio) * R̂ with R̂ < 0 used to shrink the
+        # window below the fastest estimate, excluding even the fastest arm.
+        tol = ToleranceConfig(ratio=0.5)
+        assert tol.limit(-100.0) == -100.0
+        # A large-enough absolute allowance can still widen the window...
+        assert ToleranceConfig(ratio=0.5, seconds=60.0).limit(-100.0) == pytest.approx(-90.0)
+        # ...but a small one cannot push the limit below the fastest estimate.
+        assert ToleranceConfig(ratio=0.5, seconds=20.0).limit(-100.0) == -100.0
+
+    def test_limit_accepts_arrays(self):
+        tol = ToleranceConfig(ratio=0.1)
+        fastest = np.asarray([100.0, -50.0, 0.0])
+        limits = tol.limit(fastest)
+        assert np.allclose(limits, [110.0, -50.0, 0.0])
+
 
 class TestTolerantSelector:
     def test_strict_selection_picks_fastest(self, ndp):
@@ -57,6 +74,20 @@ class TestTolerantSelector:
         outcome = selector.select(ndp, {"H0": 200.0, "H1": 150.0, "H2": 100.0})
         assert outcome.chosen.name == "H2"
         assert outcome.candidates == ["H2"]
+
+    def test_negative_estimates_keep_fastest_in_window(self, ndp):
+        # Regression: with R̂ < 0 and a ratio tolerance, the unclamped limit
+        # used to fall below the fastest estimate and empty the window.
+        selector = TolerantSelector(ToleranceConfig(ratio=0.2))
+        outcome = selector.select(ndp, {"H0": -50.0, "H1": -30.0, "H2": 10.0})
+        assert outcome.fastest.name == "H0"
+        assert "H0" in outcome.candidates
+        assert outcome.limit >= -50.0
+        arm, fastest, limit, n_candidates = selector.select_index(
+            ndp, np.asarray([-50.0, -30.0, 10.0])
+        )
+        assert ndp[arm].name == outcome.chosen.name
+        assert n_candidates == len(outcome.candidates)
 
     def test_sequence_estimates_follow_catalog_order(self, ndp):
         selector = TolerantSelector()
