@@ -7,6 +7,9 @@ paper's artefacts (and their own variations) without writing Python:
   experiments (one per bandit figure of the paper).
 * ``repro run-experiment <name>`` -- run one experiment and print the
   per-round RMSE/accuracy series plus the summary.
+* ``repro run-contention --scenario <name>`` -- play a multi-tenant workflow
+  stream through the queued cluster simulator and report queue delay,
+  occupancy cost and queue-inclusive regret.
 * ``repro generate-dataset <cycles|bp3d|matmul> --output DIR`` -- materialise
   one of the synthetic datasets to a directory of CSV/JSON files.
 * ``repro show-catalog <ndp|synthetic|matmul|gpu>`` -- print a hardware
@@ -34,11 +37,16 @@ from repro.data import (
     save_dataset,
 )
 from repro.evaluation import (
+    CONTENTION_SCENARIOS,
     EXPERIMENT_NAMES,
     build_experiment,
+    build_scenario,
+    format_contention_report,
+    format_metric_table,
     format_series,
     format_summary,
     run_experiment,
+    run_scenario,
 )
 from repro.hardware import (
     ResourceCostModel,
@@ -86,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the replications (bit-identical to serial)",
+    )
+
+    contention = subparsers.add_parser(
+        "run-contention",
+        help="run a multi-tenant contention scenario through the queued cluster",
+    )
+    contention.add_argument("--scenario", required=True, choices=sorted(CONTENTION_SCENARIOS))
+    contention.add_argument("--seed", type=int, default=0)
+    contention.add_argument(
+        "--rows",
+        type=int,
+        default=0,
+        help="also print the first N per-completion accounting rows",
     )
 
     gen = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to a directory")
@@ -148,6 +169,36 @@ def _cmd_run_experiment(args, out) -> int:
     print(format_series(outcome.result, every=max(args.every, 1), title=definition.paper_reference), file=out)
     print("", file=out)
     print(format_summary(outcome.summary(), title="summary"), file=out)
+    return 0
+
+
+def _cmd_run_contention(args, out) -> int:
+    scenario = build_scenario(args.scenario, seed=args.seed)
+    print(
+        f"running contention scenario {scenario.name!r} "
+        f"({len(scenario.tenants)} tenants, {len(scenario.nodes)} nodes, seed={args.seed})",
+        file=out,
+    )
+    result = run_scenario(scenario)
+    print(format_contention_report(result), file=out)
+    if args.rows > 0:
+        print("", file=out)
+        print(
+            format_metric_table(
+                result.rows[: args.rows],
+                columns=[
+                    "tenant",
+                    "hardware",
+                    "node",
+                    "queue_seconds",
+                    "runtime_seconds",
+                    "occupancy_cost",
+                    "queue_inclusive_regret",
+                ],
+                title=f"first {min(args.rows, len(result.rows))} completions",
+            ),
+            file=out,
+        )
     return 0
 
 
@@ -218,6 +269,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_list_experiments(out)
         if args.command == "run-experiment":
             return _cmd_run_experiment(args, out)
+        if args.command == "run-contention":
+            return _cmd_run_contention(args, out)
         if args.command == "generate-dataset":
             return _cmd_generate_dataset(args, out)
         if args.command == "show-catalog":

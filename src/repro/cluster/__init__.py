@@ -14,8 +14,9 @@ Components:
 * :mod:`~repro.cluster.pod` -- pods: a workload run bound to a resource
   request (a :class:`~repro.hardware.HardwareConfig`) with a lifecycle
   (pending → running → completed).
-* :mod:`~repro.cluster.scheduler` -- FIFO and best-fit bin-packing schedulers
-  that place pending pods onto nodes with sufficient free capacity.
+* :mod:`~repro.cluster.scheduler` -- FIFO (head-of-line blocking), backfill
+  (skip-ahead first-fit) and best-fit bin-packing schedulers that place
+  pending pods onto nodes with sufficient free capacity.
 * :mod:`~repro.cluster.simulator` -- :class:`ClusterSimulator`, which ties the
   pieces together and exposes the ``submit → run → observe runtime`` loop the
   online recommender drives.
@@ -24,7 +25,12 @@ Components:
 from repro.cluster.events import Event, EventQueue
 from repro.cluster.node import Node, InsufficientCapacityError
 from repro.cluster.pod import Pod, PodPhase
-from repro.cluster.scheduler import FIFOScheduler, BestFitScheduler, SchedulingDecision
+from repro.cluster.scheduler import (
+    BackfillScheduler,
+    BestFitScheduler,
+    FIFOScheduler,
+    SchedulingDecision,
+)
 from repro.cluster.simulator import ClusterSimulator, CompletedRun
 
 __all__ = [
@@ -35,6 +41,7 @@ __all__ = [
     "Pod",
     "PodPhase",
     "FIFOScheduler",
+    "BackfillScheduler",
     "BestFitScheduler",
     "SchedulingDecision",
     "ClusterSimulator",

@@ -114,6 +114,21 @@ class Node:
             )
         self._allocations[pod_name] = request
 
+    def clone(self) -> "Node":
+        """An unallocated copy of this node (same capacity and labels).
+
+        Used wherever pristine capacity matters -- feasibility probes and
+        fresh per-run clusters -- so capacity fields added to ``Node`` later
+        cannot silently be dropped by ad-hoc copy sites.
+        """
+        return Node(
+            self.name,
+            cpus=self.cpus,
+            memory_gb=self.memory_gb,
+            gpus=self.gpus,
+            labels=self.labels,
+        )
+
     def release(self, pod_name: str) -> HardwareConfig:
         """Release the allocation held by ``pod_name`` and return it."""
         if pod_name not in self._allocations:

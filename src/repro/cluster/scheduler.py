@@ -9,7 +9,7 @@ from typing import List, Optional, Sequence
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod
 
-__all__ = ["SchedulingDecision", "FIFOScheduler", "BestFitScheduler"]
+__all__ = ["SchedulingDecision", "FIFOScheduler", "BackfillScheduler", "BestFitScheduler"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,13 @@ class SchedulingDecision:
 class Scheduler(abc.ABC):
     """Base class: pick a node (or none) for a pending pod."""
 
+    #: Queue discipline: when true, a pending pod that cannot be placed blocks
+    #: every pod behind it until capacity frees up (strict FIFO service
+    #: order).  When false the simulator may skip ahead and place later pods
+    #: that do fit ("backfill"), which improves utilisation but can starve a
+    #: large request behind a stream of small ones.
+    head_of_line_blocking: bool = False
+
     @abc.abstractmethod
     def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
         """Return the placement decision for ``pod`` given the current ``nodes``."""
@@ -52,18 +59,40 @@ class Scheduler(abc.ABC):
 
 
 class FIFOScheduler(Scheduler):
-    """Place the pod on the first node (in catalog order) with room.
+    """First-fit placement with strict first-in-first-out service order.
+
+    Pods are placed on the first node (in cluster order) with room, and a
+    pod that does not fit blocks everything queued behind it until capacity
+    frees up -- first *in*, first *out*, even when a later, smaller pod would
+    fit right now.  Use :class:`BackfillScheduler` for the skip-ahead variant
+    that trades service-order fairness for utilisation.
 
     This mirrors a naive first-fit placement and is the default used by the
     cluster simulator: BanditWare controls the *resource request*, not the
     node choice, so the scheduler's only job is to find capacity.
     """
 
+    head_of_line_blocking = True
+
     def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
         for node in nodes:
             if node.fits(pod.request):
                 return SchedulingDecision(pod.name, node.name, "first node with sufficient capacity")
         return SchedulingDecision(pod.name, None, "no node has sufficient free capacity")
+
+
+class BackfillScheduler(FIFOScheduler):
+    """First-fit placement that skips over pods that do not currently fit.
+
+    Same node choice as :class:`FIFOScheduler`, but a pending pod that cannot
+    be placed does not block the pods behind it: any later pod that fits is
+    started immediately ("backfilling").  This keeps the cluster busy at the
+    cost of fairness -- a large request can be starved indefinitely by a
+    steady stream of small ones, which is exactly the regression the FIFO
+    starvation test pins.
+    """
+
+    head_of_line_blocking = False
 
 
 class BestFitScheduler(Scheduler):

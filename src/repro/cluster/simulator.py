@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.events import EventQueue
-from repro.cluster.node import Node
+from repro.cluster.node import InsufficientCapacityError, Node
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import FIFOScheduler, Scheduler
 from repro.hardware import HardwareCatalog, HardwareConfig
@@ -51,11 +51,22 @@ class CompletedRun:
         Time the pod spent waiting for capacity before starting.
     node:
         Node the pod executed on.
+    pod_name:
+        Name of the pod that executed the run (queued mode only; ``None`` for
+        synchronous :meth:`ClusterSimulator.run_workload` runs, which never
+        materialise a pod).  Callers driving the queued path use this to map
+        completions back to their own bookkeeping (e.g. workflow tickets).
+    finish_time:
+        Simulation time the run completed.  Synchronous runs do not advance
+        the clock, so they report whatever the clock read when they were
+        executed; use ``pod_name is None`` to tell the two modes apart.
     """
 
     record: RunRecord
     queue_seconds: float
     node: str
+    pod_name: Optional[str] = None
+    finish_time: float = 0.0
 
 
 def _default_nodes() -> List[Node]:
@@ -107,6 +118,11 @@ class ClusterSimulator:
         self._events = EventQueue()
         self._pending: List[Pod] = []
         self._pods: Dict[str, Pod] = {}
+        self._pod_workloads: Dict[str, WorkloadModel] = {}
+        # Feasibility verdicts per hardware name.  Node *total* capacity is
+        # fixed at construction, so the probe answer never changes; caching
+        # keeps the per-submit check at dict-lookup cost.
+        self._feasibility: Dict[str, Optional[str]] = {}
         self._completed: List[CompletedRun] = []
         self._pod_counter = itertools.count(1)
         self._run_counter = itertools.count(1)
@@ -137,6 +153,24 @@ class ClusterSimulator:
             return self.catalog[hardware.name]
         return self.catalog[hardware]
 
+    def feasible_node(self, request: HardwareConfig) -> Optional[Node]:
+        """The node the scheduler would place ``request`` on in an empty cluster.
+
+        Feasibility is judged against each node's *total* capacity (a run
+        executed "alone"), not its current free capacity, so the answer is
+        stable regardless of what is queued (and is cached per hardware
+        name).  Returns ``None`` when no node can ever fit the request.
+        """
+        if request.name not in self._feasibility:
+            pristine = [n.clone() for n in self.nodes]
+            probe = Pod(name="feasibility-probe", request=request)
+            decision = self.scheduler.select_node(probe, pristine)
+            self._feasibility[request.name] = decision.node_name
+        node_name = self._feasibility[request.name]
+        if node_name is None:
+            return None
+        return next(n for n in self.nodes if n.name == node_name)
+
     # ------------------------------------------------------------------ #
     # Synchronous single-run interface (what the bandit loop uses)
     # ------------------------------------------------------------------ #
@@ -144,23 +178,42 @@ class ClusterSimulator:
         self,
         features: Dict[str, float],
         hardware: HardwareConfig | str,
+        workload: Optional[WorkloadModel] = None,
     ) -> CompletedRun:
         """Execute one workflow on ``hardware`` and return its completed run.
 
         The run is executed "alone": it does not contend with queued pods, so
         the observed runtime reflects only the workload model's ground truth
         plus noise, matching the per-run runtimes in the paper's datasets.
+        "Alone" still requires capacity to exist: the request must fit some
+        node's total capacity, and the reported node is the one the scheduler
+        would pick in an empty cluster -- the same feasibility rule the queued
+        path enforces, so a request that succeeds here cannot deadlock there.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If the request exceeds every node's total capacity.
         """
         config = self._resolve_hardware(hardware)
-        runtime = self.workload.observed_runtime(features, config, self._rng)
+        workload = workload if workload is not None else self.workload
+        node = self.feasible_node(config)
+        if node is None:
+            raise InsufficientCapacityError(
+                f"request {config.as_tuple()} exceeds every node's total capacity; "
+                f"nodes: {[(n.name, n.cpus, n.memory_gb) for n in self.nodes]}"
+            )
+        runtime = workload.observed_runtime(features, config, self._rng)
         record = RunRecord(
-            run_id=f"{self.workload.name}-run-{next(self._run_counter):06d}",
-            application=self.workload.name,
+            run_id=f"{workload.name}-run-{next(self._run_counter):06d}",
+            application=workload.name,
             hardware=config.name,
             runtime_seconds=runtime,
             features=dict(features),
         )
-        run = CompletedRun(record=record, queue_seconds=0.0, node=self.nodes[0].name)
+        run = CompletedRun(
+            record=record, queue_seconds=0.0, node=node.name, finish_time=self.now
+        )
         self._completed.append(run)
         self.log.record(
             "cluster",
@@ -180,29 +233,58 @@ class ClusterSimulator:
         features: Dict[str, float],
         hardware: HardwareConfig | str,
         at_time: Optional[float] = None,
+        workload: Optional[WorkloadModel] = None,
     ) -> Pod:
-        """Submit a pod requesting ``hardware`` for a workflow with ``features``."""
+        """Submit a pod requesting ``hardware`` for a workflow with ``features``.
+
+        ``workload`` selects which application model provides the pod's
+        ground-truth runtime; it defaults to the simulator's own workload.
+        Passing it per pod lets multiple tenants (applications) share one
+        cluster, which is what the contention-aware evaluation drives.
+
+        Raises
+        ------
+        InsufficientCapacityError
+            If the request exceeds every node's *total* capacity (same rule
+            as :meth:`run_workload`).  Under the FIFO scheduler's
+            head-of-line blocking an infeasible pod would silently wedge
+            every pod behind it until the event budget drains, so the two
+            modes fail fast and consistently at the point of error instead.
+        """
         config = self._resolve_hardware(hardware)
+        if self.feasible_node(config) is None:
+            raise InsufficientCapacityError(
+                f"request {config.as_tuple()} exceeds every node's total capacity "
+                "and can never be scheduled; "
+                f"nodes: {[(n.name, n.cpus, n.memory_gb) for n in self.nodes]}"
+            )
+        workload = workload if workload is not None else self.workload
         name = f"pod-{next(self._pod_counter):06d}"
         pod = Pod(
             name=name,
             request=config,
             features=dict(features),
-            application=self.workload.name,
+            application=workload.name,
         )
         submit_time = self.now if at_time is None else float(at_time)
         self._events.push(submit_time, "pod_submitted", pod_name=name)
         self._pods[name] = pod
+        self._pod_workloads[name] = workload
         self.log.record("cluster", "pod_submitted", time=submit_time, pod=name, hardware=config.name)
         return pod
 
     def _try_schedule_pending(self) -> None:
         still_pending: List[Pod] = []
-        for pod in self._pending:
+        blocked = False
+        for i, pod in enumerate(self._pending):
+            if blocked:
+                still_pending.extend(self._pending[i:])
+                break
             decision = self.scheduler.schedule(pod, self.nodes)
             if decision.placed:
                 pod.mark_running(self.now, decision.node_name)
-                runtime = self.workload.observed_runtime(pod.features, pod.request, self._rng)
+                workload = self._pod_workloads.get(pod.name, self.workload)
+                runtime = workload.observed_runtime(pod.features, pod.request, self._rng)
                 pod.metadata["planned_runtime"] = runtime
                 self._events.push_in(runtime, "pod_finished", pod_name=pod.name)
                 self.log.record(
@@ -215,6 +297,11 @@ class ClusterSimulator:
                 )
             else:
                 still_pending.append(pod)
+                # Strict FIFO service order: an unplaceable pod at the head of
+                # the queue blocks everything behind it, so a large request
+                # cannot be starved by a stream of small skip-ahead pods.
+                if self.scheduler.head_of_line_blocking:
+                    blocked = True
         self._pending = still_pending
 
     def _handle_event(self, event) -> None:
@@ -228,11 +315,16 @@ class ClusterSimulator:
             node = next(n for n in self.nodes if n.name == pod.node)
             node.release(pod.name)
             pod.mark_finished(event.time, succeeded=True)
+            workload = self._pod_workloads.get(pod.name, self.workload)
+            # Report the planned (drawn) runtime, not finish - start: the
+            # subtraction loses low-order bits once the clock is large, and
+            # observations must match the synchronous path bit-for-bit.
+            runtime = float(pod.metadata.get("planned_runtime", pod.runtime_seconds or 0.0))
             record = RunRecord(
-                run_id=f"{self.workload.name}-run-{next(self._run_counter):06d}",
-                application=self.workload.name,
+                run_id=f"{workload.name}-run-{next(self._run_counter):06d}",
+                application=workload.name,
                 hardware=pod.request.name,
-                runtime_seconds=float(pod.runtime_seconds or 0.0),
+                runtime_seconds=runtime,
                 features=dict(pod.features),
             )
             self._completed.append(
@@ -240,6 +332,8 @@ class ClusterSimulator:
                     record=record,
                     queue_seconds=float(pod.queue_seconds or 0.0),
                     node=pod.node or "",
+                    pod_name=pod.name,
+                    finish_time=float(event.time),
                 )
             )
             self.log.record(
@@ -266,11 +360,42 @@ class ClusterSimulator:
         if self._events:
             raise RuntimeError(f"event budget of {max_events} exhausted with events remaining")
         if self._pending:
-            names = [p.name for p in self._pending]
-            raise RuntimeError(
-                f"pods {names} can never be scheduled: requests exceed every node's capacity"
+            # Defensive: submit() rejects infeasible requests up front, so
+            # this can only trigger if capacity was mutated after admission.
+            infeasible = [p.name for p in self._pending if self.feasible_node(p.request) is None]
+            blocked = [p.name for p in self._pending if p.name not in set(infeasible)]
+            message = (
+                f"pods {infeasible} can never be scheduled: "
+                "requests exceed every node's capacity"
+                if infeasible
+                else f"pods {blocked} are pending with no events left to free capacity"
             )
+            if infeasible and blocked:
+                message += f"; pods {blocked} are blocked behind them in the FIFO queue"
+            raise InsufficientCapacityError(message)
         return self._completed[before:]
+
+    def run_until(self, time: float) -> List[CompletedRun]:
+        """Process all events up to and including ``time``, then stop.
+
+        The simulation clock advances exactly to ``time`` even when no event
+        falls in the window (:meth:`EventQueue.drain` semantics), so callers
+        interleaving external arrivals with the event engine can step the
+        clock deterministically.  Returns the runs completed during this call
+        in completion order.
+        """
+        before = len(self._completed)
+        self._events.drain(self._handle_event, until=float(time))
+        return self._completed[before:]
+
+    def peek_next_event_time(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None`` when the engine is idle."""
+        return self._events.peek_time()
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any events remain to process (pods submitted, running or queued)."""
+        return bool(self._events)
 
     # ------------------------------------------------------------------ #
     def utilisation(self) -> Dict[str, Dict[str, float]]:

@@ -8,10 +8,15 @@ consume.
 Two regret notions are tracked:
 
 * **runtime regret** -- observed (or expected) runtime on the chosen hardware
-  minus the best expected runtime available for the same workflow; and
+  minus the best expected runtime available for the same workflow;
 * **decision regret** -- 1 when the chosen hardware differs from the
   oracle-best hardware, 0 otherwise (the complement of the paper's
-  "accuracy").
+  "accuracy"); and
+* **queue-inclusive regret** -- runtime regret plus the time the workflow
+  spent queueing for capacity.  On a shared cluster the bandit's arm choices
+  change queueing delay for everyone (over-allocation starves co-tenants),
+  so the contention-aware evaluation charges waiting time as regret against
+  the contention-free oracle.
 """
 
 from __future__ import annotations
@@ -41,7 +46,12 @@ def runtime_to_reward(runtime_seconds: float, scale: float = 1.0) -> float:
 
 @dataclass(frozen=True)
 class RoundOutcome:
-    """Everything observed in one round of the online loop."""
+    """Everything observed in one round of the online loop.
+
+    ``queue_seconds`` is the time the round's workflow waited for cluster
+    capacity before starting; it defaults to 0 for the contention-free
+    synchronous loop, so existing callers are unaffected.
+    """
 
     round_index: int
     chosen_hardware: str
@@ -50,11 +60,26 @@ class RoundOutcome:
     best_expected_runtime: float
     expected_runtime_on_chosen: float
     explored: bool
+    queue_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.queue_seconds < 0:
+            raise ValueError(f"queue_seconds must be non-negative, got {self.queue_seconds}")
 
     @property
     def runtime_regret(self) -> float:
         """Expected extra seconds paid versus the oracle-best hardware."""
         return max(self.expected_runtime_on_chosen - self.best_expected_runtime, 0.0)
+
+    @property
+    def queue_inclusive_regret(self) -> float:
+        """Runtime regret plus queueing delay.
+
+        The oracle baseline runs each workflow alone with zero queueing, so
+        any waiting the chosen allocation induces on a shared cluster is paid
+        on top of the expected-runtime gap.
+        """
+        return self.runtime_regret + self.queue_seconds
 
     @property
     def correct(self) -> bool:
@@ -90,6 +115,16 @@ class RegretLedger:
             return np.empty(0)
         return np.cumsum([r.runtime_regret for r in self._rounds])
 
+    def cumulative_queue_inclusive_regret(self) -> np.ndarray:
+        """Cumulative queue-inclusive regret (runtime regret + queueing delay)."""
+        if not self._rounds:
+            return np.empty(0)
+        return np.cumsum([r.queue_inclusive_regret for r in self._rounds])
+
+    def total_queue_seconds(self) -> float:
+        """Sum of queueing delay across all rounds (seconds)."""
+        return float(sum(r.queue_seconds for r in self._rounds))
+
     def accuracy_curve(self, window: Optional[int] = None) -> np.ndarray:
         """Fraction of correct hardware choices, cumulatively or over a trailing window."""
         if not self._rounds:
@@ -122,6 +157,8 @@ class RegretLedger:
                 "rounds": 0,
                 "accuracy": 0.0,
                 "cumulative_regret": 0.0,
+                "queue_inclusive_regret": 0.0,
+                "total_queue_seconds": 0.0,
                 "exploration_fraction": 0.0,
                 "total_runtime": 0.0,
             }
@@ -129,6 +166,8 @@ class RegretLedger:
             "rounds": float(len(self._rounds)),
             "accuracy": float(self.accuracy_curve()[-1]),
             "cumulative_regret": float(self.cumulative_runtime_regret()[-1]),
+            "queue_inclusive_regret": float(self.cumulative_queue_inclusive_regret()[-1]),
+            "total_queue_seconds": self.total_queue_seconds(),
             "exploration_fraction": self.exploration_fraction(),
             "total_runtime": self.total_observed_runtime(),
         }

@@ -15,6 +15,9 @@ protocol once so every benchmark and example reuses it.
   definitions matching each of the paper's figures.
 * :mod:`~repro.evaluation.reporting` -- plain-text rendering of the series
   and tables the paper plots.
+* :mod:`~repro.evaluation.contention` -- contention-aware, cluster-in-the-loop
+  evaluation: multi-tenant workflow streams driven through the queued
+  event-engine path with queue-aware regret accounting.
 """
 
 from repro.evaluation.metrics import (
@@ -37,13 +40,33 @@ from repro.evaluation.experiment import (
     build_experiment,
     run_experiment,
 )
+from repro.evaluation.contention import (
+    CONTENTION_SCENARIOS,
+    ContentionResult,
+    ContentionScenario,
+    TenantOutcome,
+    TenantSpec,
+    build_scenario,
+    run_scenario,
+    run_synchronous,
+)
 from repro.evaluation.reporting import (
+    format_contention_report,
     format_metric_table,
     format_series,
     format_summary,
 )
 
 __all__ = [
+    "CONTENTION_SCENARIOS",
+    "ContentionResult",
+    "ContentionScenario",
+    "TenantOutcome",
+    "TenantSpec",
+    "build_scenario",
+    "run_scenario",
+    "run_synchronous",
+    "format_contention_report",
     "rmse",
     "mae",
     "mape",

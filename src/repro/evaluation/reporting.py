@@ -9,13 +9,22 @@ every figure's numbers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.evaluation.simulation import SimulationResult
 
-__all__ = ["format_series", "format_metric_table", "format_summary", "format_histogram"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (contention imports nothing back)
+    from repro.evaluation.contention import ContentionResult
+
+__all__ = [
+    "format_series",
+    "format_metric_table",
+    "format_summary",
+    "format_histogram",
+    "format_contention_report",
+]
 
 
 def _format_cell(value, width: int = 12, precision: int = 4) -> str:
@@ -90,6 +99,35 @@ def format_summary(summary: Mapping[str, float], title: str = "") -> str:
         else:
             lines.append(f"{key:<{width}} : {value}")
     return "\n".join(lines)
+
+
+def format_contention_report(result: "ContentionResult") -> str:
+    """Render a contention scenario's queue-aware accounting as text.
+
+    One row per tenant (accuracy, queueing, regret), followed by the
+    scenario-level summary: makespan, queue-delay distribution, occupancy
+    cost in resource-seconds, and the queue-inclusive regret that charges
+    waiting time against the contention-free oracle.
+    """
+    rows = []
+    for outcome in result.tenants.values():
+        summary = outcome.summary()
+        rows.append(
+            {
+                "tenant": outcome.tenant,
+                "workflows": int(summary["rounds"]),
+                "accuracy": summary["accuracy"],
+                "explore": summary["exploration_fraction"],
+                "queue_s": summary["total_queue_seconds"],
+                "regret_s": summary["cumulative_regret"],
+                "q_regret_s": summary["queue_inclusive_regret"],
+            }
+        )
+    table = format_metric_table(
+        rows, title=f"scenario {result.scenario_name!r}: {result.description}"
+    )
+    summary = format_summary(result.summary(), title="scenario summary")
+    return f"{table}\n\n{summary}"
 
 
 def format_histogram(

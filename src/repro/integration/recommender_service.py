@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -99,18 +100,26 @@ class RecommendationService:
         feature_names: Sequence[str],
         description: str = "",
         warm_start_history: bool = True,
+        catalog: Optional[HardwareCatalog] = None,
+        tolerance: Optional[ToleranceConfig] = None,
     ) -> BanditWare:
         """Register an application and create its recommender.
 
         When ``warm_start_history`` is true and the history store already
         contains runs of this application, they seed the recommender's per-arm
         models before any online recommendation is made.
+
+        ``catalog`` restricts the application's arm space to a subset of the
+        platform's hardware (different applications are eligible for
+        different allocations on a shared cluster); ``tolerance`` overrides
+        the service-wide tolerance for this application only.  Both default
+        to the service-level settings.
         """
         info = self.registry.register(name, owner, feature_names, description)
         recommender = BanditWare(
-            catalog=self.catalog,
+            catalog=catalog if catalog is not None else self.catalog,
             feature_names=list(info.feature_names),
-            tolerance=self.tolerance,
+            tolerance=tolerance if tolerance is not None else self.tolerance,
             seed=self._seed,
         )
         if warm_start_history and self.history.records_for(name):
@@ -189,6 +198,11 @@ class RecommendationService:
         one per ticket); the final recommender state, run history, and ticket
         bookkeeping are exactly those of sequential
         :meth:`complete_workflow` calls in the same order.
+
+        The whole batch is validated -- tickets known, uncompleted and unique,
+        runtimes finite and non-negative -- before *any* recommender mutates,
+        so a rejected batch leaves every recommender and every ticket
+        untouched and can safely be retried after fixing the bad entry.
         """
         resolved = []
         seen = set()
@@ -201,7 +215,13 @@ class RecommendationService:
             ticket = self._tickets[ticket_id]
             if ticket.completed:
                 raise ValueError(f"ticket {ticket_id!r} was already completed")
-            resolved.append((ticket, float(runtime_seconds)))
+            runtime = float(runtime_seconds)
+            if not math.isfinite(runtime) or runtime < 0:
+                raise ValueError(
+                    f"ticket {ticket_id!r} reports an invalid runtime {runtime_seconds!r}; "
+                    "runtimes must be finite and non-negative"
+                )
+            resolved.append((ticket, runtime))
         by_application: Dict[str, List[tuple]] = {}
         for ticket, runtime in resolved:
             by_application.setdefault(ticket.application, []).append((ticket, runtime))

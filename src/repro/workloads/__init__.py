@@ -20,8 +20,16 @@ qualitative behaviour the paper reports (see DESIGN.md, "Substitutions").
   tiled kernel.
 * :mod:`~repro.workloads.synthetic` -- a generic linear-runtime workload used
   by property tests and ablations.
+* :mod:`~repro.workloads.arrivals` -- workflow arrival processes (Poisson,
+  bursty, closed-loop) for the multi-tenant contention evaluation.
 """
 
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+)
 from repro.workloads.base import (
     RunRecord,
     TraceGenerator,
@@ -35,6 +43,10 @@ from repro.workloads.synthetic import LinearRuntimeWorkload
 from repro.workloads.llm import LLMInferenceWorkload, gpu_catalog
 
 __all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
     "LLMInferenceWorkload",
     "gpu_catalog",
     "RunRecord",

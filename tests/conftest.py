@@ -22,6 +22,20 @@ from repro.workloads import (
 )
 
 
+def constant_workload(runtimes, name="const"):
+    """A workload with exact, noise-free per-hardware runtimes.
+
+    Shared by the cluster and contention suites for deterministic timing
+    assertions; ``runtimes`` maps hardware name -> constant runtime seconds.
+    """
+    return LinearRuntimeWorkload(
+        feature_ranges={"x": (0.0, 0.0)},
+        coefficients={hw: ({"x": 0.0}, rt) for hw, rt in runtimes.items()},
+        noise_sigma=0.0,
+        name=name,
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -75,6 +75,26 @@ class TestRunExperiment:
         assert output_serial == output_parallel
 
 
+class TestRunContention:
+    def test_light_scenario_reports_queue_accounting(self):
+        code, output = run_cli("run-contention", "--scenario", "light", "--seed", "1")
+        assert code == 0
+        assert "scenario summary" in output
+        assert "queue_inclusive_regret" in output
+        assert "occupancy_cost" in output
+        assert "mean_queue_seconds" in output
+
+    def test_saturated_scenario_completes_end_to_end(self):
+        code, output = run_cli("run-contention", "--scenario", "saturated", "--rows", "3")
+        assert code == 0
+        assert "sweep-campaign" in output
+        assert "first 3 completions" in output
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-contention", "--scenario", "imaginary"])
+
+
 class TestGenerateAndRecommend:
     def test_generate_dataset_writes_files(self, tmp_path):
         target = tmp_path / "cycles"

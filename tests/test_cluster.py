@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import (
+    BackfillScheduler,
     BestFitScheduler,
     ClusterSimulator,
     EventQueue,
@@ -13,7 +14,7 @@ from repro.cluster import (
     Pod,
     PodPhase,
 )
-from repro.hardware import HardwareConfig, ndp_catalog
+from repro.hardware import HardwareCatalog, HardwareConfig, ndp_catalog
 from repro.utils.logging import EventLog
 from repro.workloads import CyclesWorkload
 
@@ -79,6 +80,51 @@ class TestEventQueue:
     def test_negative_time_rejected(self):
         with pytest.raises(ValueError):
             EventQueue().push(-1.0, "x")
+
+    def test_drain_until_advances_clock_with_no_events(self):
+        q = EventQueue()
+        processed = q.drain(lambda e: None, until=7.5)
+        assert processed == 0
+        assert q.now == 7.5
+
+    def test_drain_until_before_next_event_leaves_it_queued(self):
+        q = EventQueue()
+        q.push(5.0, "later")
+        processed = q.drain(lambda e: None, until=2.0)
+        assert processed == 0
+        assert q.now == 2.0
+        assert q.peek_time() == 5.0
+
+    def test_drain_until_in_the_past_does_not_rewind_clock(self):
+        q = EventQueue()
+        q.push(4.0, "x")
+        q.pop()
+        assert q.drain(lambda e: None, until=1.0) == 0
+        assert q.now == 4.0
+
+    def test_drain_processes_handler_pushed_events_within_window(self):
+        q = EventQueue()
+        seen = []
+
+        def handler(event):
+            seen.append((event.kind, event.time))
+            if event.kind == "first":
+                q.push(event.time + 1.0, "chained")
+                q.push(event.time + 10.0, "outside")
+
+        q.push(1.0, "first")
+        processed = q.drain(handler, until=5.0)
+        assert processed == 2
+        assert seen == [("first", 1.0), ("chained", 2.0)]
+        assert q.peek_time() == 11.0
+        assert q.now == 5.0
+
+    def test_drain_without_until_processes_everything(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert q.drain(lambda e: None) == 2
+        assert not q
 
 
 class TestNode:
@@ -192,6 +238,17 @@ class TestSchedulers:
         decision = BestFitScheduler().select_node(Pod("p", request_large), nodes)
         assert decision.node_name is None
 
+    def test_queue_disciplines(self):
+        # FIFO preserves strict service order; backfill and best-fit skip ahead.
+        assert FIFOScheduler().head_of_line_blocking
+        assert not BackfillScheduler().head_of_line_blocking
+        assert not BestFitScheduler().head_of_line_blocking
+
+    def test_backfill_places_like_fifo(self, request_small):
+        nodes = [Node("a", cpus=1, memory_gb=4), Node("b", cpus=8, memory_gb=32)]
+        decision = BackfillScheduler().select_node(Pod("p", request_small), nodes)
+        assert decision.node_name == "b"
+
 
 class TestClusterSimulator:
     def _make(self, **kwargs):
@@ -249,9 +306,8 @@ class TestClusterSimulator:
             nodes=[Node("tiny", cpus=1, memory_gb=1)],
             seed=0,
         )
-        sim.submit({"num_tasks": 100}, "H0")
         with pytest.raises(RuntimeError, match="never be scheduled"):
-            sim.run_until_idle()
+            sim.submit({"num_tasks": 100}, "H0")
 
     def test_event_log_records_lifecycle(self):
         log = EventLog()
@@ -283,3 +339,196 @@ class TestClusterSimulator:
     def test_empty_nodes_rejected(self):
         with pytest.raises(ValueError):
             ClusterSimulator(workload=CyclesWorkload(), catalog=ndp_catalog(), nodes=[])
+
+
+from conftest import constant_workload as _constant_workload
+
+_SIZED_CATALOG = HardwareCatalog(
+    [
+        HardwareConfig("small", cpus=2, memory_gb=8),
+        HardwareConfig("big", cpus=4, memory_gb=8),
+    ]
+)
+
+
+class TestFIFOStarvation:
+    """Regression: a large pod at the head of the queue must not be starved."""
+
+    def _cluster(self, scheduler):
+        return ClusterSimulator(
+            workload=_constant_workload({"small": 10.0, "big": 10.0}),
+            catalog=_SIZED_CATALOG,
+            nodes=[Node("n", cpus=4, memory_gb=32)],
+            scheduler=scheduler,
+            seed=0,
+        )
+
+    def _submit_stream(self, sim):
+        """Two running small pods, a big pod, then a stream of small pods."""
+        pods = [sim.submit({"x": 0.0}, "small", at_time=0.0) for _ in range(2)]
+        pods.append(sim.submit({"x": 0.0}, "big", at_time=0.0))
+        pods.extend(sim.submit({"x": 0.0}, "small", at_time=0.0) for _ in range(2))
+        sim.run_until_idle()
+        return pods
+
+    def test_fifo_blocks_head_of_line(self):
+        sim = self._cluster(FIFOScheduler())
+        a1, a2, big, d, e = self._submit_stream(sim)
+        # The big pod starts as soon as both initial pods release capacity,
+        # *before* the small pods queued behind it.
+        assert big.start_time == pytest.approx(10.0)
+        assert d.start_time == pytest.approx(20.0)
+        assert e.start_time == pytest.approx(20.0)
+
+    def test_backfill_skips_ahead(self):
+        sim = self._cluster(BackfillScheduler())
+        a1, a2, big, d, e = self._submit_stream(sim)
+        # The seed's old behaviour, now opt-in: later small pods jump the
+        # queue and the big pod waits for a fully free node.
+        assert d.start_time == pytest.approx(10.0)
+        assert e.start_time == pytest.approx(10.0)
+        assert big.start_time == pytest.approx(20.0)
+
+    def test_fifo_starvation_bounded_under_continuous_small_stream(self):
+        # Small pods keep arriving while the big pod is queued; strict FIFO
+        # still gets the big pod on within one drain of the initial pods.
+        sim = self._cluster(FIFOScheduler())
+        sim.submit({"x": 0.0}, "small", at_time=0.0)
+        sim.submit({"x": 0.0}, "small", at_time=0.0)
+        big = sim.submit({"x": 0.0}, "big", at_time=1.0)
+        for k in range(8):
+            sim.submit({"x": 0.0}, "small", at_time=2.0 + k)
+        sim.run_until_idle()
+        assert big.start_time == pytest.approx(10.0)
+
+    def test_infeasible_submit_fails_fast_without_wedging_the_queue(self):
+        # An infeasible pod would block every later pod under head-of-line
+        # FIFO, so submit rejects it at the point of error; the queue keeps
+        # flowing for feasible pods.
+        sim = ClusterSimulator(
+            workload=_constant_workload({"small": 10.0, "big": 10.0}),
+            catalog=_SIZED_CATALOG,
+            nodes=[Node("tiny", cpus=2, memory_gb=16)],
+            scheduler=FIFOScheduler(),
+            seed=0,
+        )
+        with pytest.raises(InsufficientCapacityError, match="never be scheduled"):
+            sim.submit({"x": 0.0}, "big", at_time=0.0)
+        sim.submit({"x": 0.0}, "small", at_time=0.0)
+        assert len(sim.run_until_idle()) == 1
+
+
+class TestRunWorkloadFeasibility:
+    """Regression: run_workload must not fabricate a node it cannot use."""
+
+    def _cluster(self, nodes, **kwargs):
+        return ClusterSimulator(
+            workload=CyclesWorkload(),
+            catalog=ndp_catalog(),
+            nodes=nodes,
+            seed=0,
+            **kwargs,
+        )
+
+    def test_infeasible_request_raises(self):
+        sim = self._cluster([Node("tiny", cpus=1, memory_gb=1)])
+        with pytest.raises(InsufficientCapacityError):
+            sim.run_workload({"num_tasks": 100}, "H0")
+
+    def test_reports_a_node_that_actually_fits(self):
+        sim = self._cluster(
+            [Node("small-node", cpus=2, memory_gb=16), Node("big-node", cpus=32, memory_gb=128)]
+        )
+        run = sim.run_workload({"num_tasks": 100}, "H2")  # H2 needs 4 CPUs
+        assert run.node == "big-node"
+
+    def test_feasibility_ignores_queued_occupancy(self):
+        # A synchronous run executes "alone": pods occupying the cluster in
+        # queued mode do not make it infeasible.
+        sim = self._cluster([Node("n", cpus=4, memory_gb=32)])
+        sim.submit({"num_tasks": 100}, "H2", at_time=0.0)
+        sim.run_until(0.0)  # schedule the pod so it holds all 4 CPUs
+        run = sim.run_workload({"num_tasks": 100}, "H2")
+        assert run.node == "n"
+        sim.run_until_idle()
+
+    def test_modes_agree_on_feasibility(self):
+        # What raises synchronously is rejected at submit in queued mode too.
+        sync = self._cluster([Node("tiny", cpus=1, memory_gb=1)])
+        with pytest.raises(InsufficientCapacityError):
+            sync.run_workload({"num_tasks": 100}, "H0")
+        queued = self._cluster([Node("tiny", cpus=1, memory_gb=1)])
+        with pytest.raises(InsufficientCapacityError, match="never be scheduled"):
+            queued.submit({"num_tasks": 100}, "H0")
+
+    def test_best_fit_reports_its_own_node_choice(self):
+        sim = self._cluster(
+            [Node("roomy", cpus=32, memory_gb=128), Node("tight", cpus=2, memory_gb=16)],
+            scheduler=BestFitScheduler(),
+        )
+        run = sim.run_workload({"num_tasks": 100}, "H0")  # H0 needs 2 CPUs
+        assert run.node == "tight"
+
+
+class TestRunUntil:
+    def _cluster(self):
+        return ClusterSimulator(
+            workload=_constant_workload({"small": 10.0, "big": 10.0}),
+            catalog=_SIZED_CATALOG,
+            nodes=[Node("n", cpus=8, memory_gb=32)],
+            seed=0,
+        )
+
+    def test_partial_progress_and_clock(self):
+        sim = self._cluster()
+        sim.submit({"x": 0.0}, "small", at_time=0.0)
+        sim.submit({"x": 0.0}, "small", at_time=4.0)
+        assert sim.run_until(5.0) == []  # both scheduled, none finished
+        assert sim.now == 5.0
+        assert sim.has_work
+        runs = sim.run_until(20.0)
+        assert len(runs) == 2
+        assert sim.now == 20.0
+        assert not sim.has_work
+
+    def test_clock_advances_without_events(self):
+        sim = self._cluster()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_peek_next_event_time(self):
+        sim = self._cluster()
+        assert sim.peek_next_event_time() is None
+        sim.submit({"x": 0.0}, "small", at_time=3.0)
+        assert sim.peek_next_event_time() == 3.0
+
+
+class TestMultiWorkloadSubmit:
+    def test_per_pod_workload_drives_runtime_and_application(self):
+        fast = _constant_workload({"small": 5.0, "big": 5.0}, name="fast-app")
+        slow = _constant_workload({"small": 50.0, "big": 50.0}, name="slow-app")
+        sim = ClusterSimulator(
+            workload=fast,
+            catalog=_SIZED_CATALOG,
+            nodes=[Node("n", cpus=8, memory_gb=32)],
+            seed=0,
+        )
+        sim.submit({"x": 0.0}, "small", at_time=0.0)                  # default workload
+        sim.submit({"x": 0.0}, "small", at_time=0.0, workload=slow)   # other tenant
+        runs = sim.run_until_idle()
+        by_app = {r.record.application: r.record.runtime_seconds for r in runs}
+        assert by_app == {"fast-app": 5.0, "slow-app": 50.0}
+
+    def test_completed_runs_carry_pod_names(self):
+        sim = ClusterSimulator(
+            workload=_constant_workload({"small": 5.0, "big": 5.0}),
+            catalog=_SIZED_CATALOG,
+            nodes=[Node("n", cpus=8, memory_gb=32)],
+            seed=0,
+        )
+        pod = sim.submit({"x": 0.0}, "small")
+        (run,) = sim.run_until_idle()
+        assert run.pod_name == pod.name
+        assert run.finish_time == pytest.approx(5.0)
+        sync_run = sim.run_workload({"x": 0.0}, "small")
+        assert sync_run.pod_name is None

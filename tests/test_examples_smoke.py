@@ -19,7 +19,14 @@ EXAMPLES = [
     "burnpro3d_recommendation.py",
     "matmul_hardware_selection.py",
     "cluster_simulation.py",
+    "contention_scenarios.py",
 ]
+
+
+def test_contention_example_parity_line(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "contention_scenarios.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "parity with the synchronous loop: True" in output
 
 
 @pytest.mark.parametrize("script", EXAMPLES)

@@ -125,6 +125,58 @@ class TestRecommendationService:
         )
         assert sum(recommender.observation_counts().values()) == 20
 
+    def test_batch_completion_with_invalid_runtime_mutates_nothing(self):
+        """Regression: a bad runtime mid-batch must not leave partial state.
+
+        Before the pre-flight validation, a NaN runtime for application B
+        was only rejected *after* application A's recommender had already
+        ingested its observations (tickets still marked incomplete), so a
+        retry double-learned A's rows.
+        """
+        service = self._service()
+        service.register_application("app-a", "alice", ["x"])
+        service.register_application("app-b", "bob", ["x"])
+        ticket_a = service.submit_workflow("app-a", {"x": 1.0})
+        ticket_b = service.submit_workflow("app-b", {"x": 2.0})
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            service.complete_workflows(
+                [(ticket_a.ticket_id, 50.0), (ticket_b.ticket_id, float("nan"))]
+            )
+        # No recommender observed anything; no ticket completed; no history.
+        for app in ("app-a", "app-b"):
+            assert sum(service.recommender_for(app).observation_counts().values()) == 0
+        assert not service.ticket(ticket_a.ticket_id).completed
+        assert not service.ticket(ticket_b.ticket_id).completed
+        assert len(service.history) == 0
+        # The retry with corrected runtimes learns each row exactly once.
+        service.complete_workflows(
+            [(ticket_a.ticket_id, 50.0), (ticket_b.ticket_id, 60.0)]
+        )
+        for app in ("app-a", "app-b"):
+            assert sum(service.recommender_for(app).observation_counts().values()) == 1
+        assert len(service.history) == 2
+
+    def test_batch_completion_rejects_negative_and_infinite_runtimes(self):
+        service = self._service()
+        service.register_application("cycles", "alice", ["num_tasks"])
+        for bad in (-1.0, float("inf"), float("-inf")):
+            ticket = service.submit_workflow("cycles", {"num_tasks": 100.0})
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                service.complete_workflows([(ticket.ticket_id, bad)])
+            assert not service.ticket(ticket.ticket_id).completed
+
+    def test_register_application_with_custom_catalog(self, ndp):
+        subset = ndp.subset(["H0", "H1"])
+        service = RecommendationService(catalog=ndp, seed=0)
+        recommender = service.register_application(
+            "narrow", "alice", ["x"], catalog=subset
+        )
+        assert recommender.catalog.names == ["H0", "H1"]
+        for _ in range(10):
+            ticket = service.submit_workflow("narrow", {"x": 1.0})
+            assert ticket.recommendation.hardware.name in {"H0", "H1"}
+            service.complete_workflow(ticket.ticket_id, 10.0)
+
     def test_run_workflow_end_to_end_with_cluster(self):
         log = EventLog()
         service = self._service(log=log)
