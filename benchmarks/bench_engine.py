@@ -1,7 +1,16 @@
 """Benchmark the vectorised evaluation engine against the seed implementation.
 
-Measures wall-clock rounds/second of the replicated BP3D online simulation
-(50 rounds x 10 replications by default) under three engines:
+Two benchmarks live here:
+
+* ``run_bench`` -- the PR 1 engine benchmark (``BENCH_eval.json``);
+* ``run_contention_bench`` -- the contention-suite benchmark
+  (``BENCH_contention.json``): every registered scenario is played through
+  the unified event-driven engine, timed per run, and the queue-aware
+  headline numbers are recorded, plus the process-pool sweep throughput.
+
+The engine benchmark measures wall-clock rounds/second of the replicated
+BP3D online simulation (50 rounds x 10 replications by default) under three
+engines:
 
 * ``seed``     -- a verbatim reconstruction of the seed engine: per-arm OLS
   models that re-stack their full data store and re-solve ``lstsq`` after
@@ -27,7 +36,7 @@ on ill-conditioned rounds that re-converge).  Results land in
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--rounds N] [--simulations N]
-        [--workers N] [--repeats N] [--output PATH]
+        [--workers N] [--repeats N] [--output PATH] [--suite engine|contention|all]
 
 This module is not collected by pytest (no ``test_`` prefix); the ``slow``
 marked test in ``tests/test_engine_parity.py`` exercises it on a small budget.
@@ -55,6 +64,7 @@ from repro.utils.validation import check_feature_matrix
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_eval.json"
+DEFAULT_CONTENTION_OUTPUT = REPO_ROOT / "BENCH_contention.json"
 
 
 class _SeedOLS(ArmModel):
@@ -269,6 +279,68 @@ def run_bench(
     return report
 
 
+def run_contention_bench(
+    seeds: int = 3,
+    n_workers: Optional[int] = None,
+    repeats: int = 3,
+    output: Optional[os.PathLike] = DEFAULT_CONTENTION_OUTPUT,
+) -> Dict:
+    """Time every registered contention scenario on the unified engine.
+
+    Per scenario: best-of-``repeats`` wall clock of one seed-0 run plus the
+    seed-0 queue-aware headline numbers (queue seconds, occupancy, wasted
+    and node-pool cost, queue-inclusive regret).  A final section times the
+    whole suite swept over ``seeds`` seeds serially vs. on the process pool
+    (scenario pickling is what makes the fan-out possible).
+    """
+    from repro.evaluation.contention import CONTENTION_SCENARIOS, build_scenario, run_scenario
+    from repro.evaluation.engine import run_scenario_sweep
+
+    if n_workers is None:
+        n_workers = min(4, os.cpu_count() or 1)
+    scenarios: Dict[str, Dict] = {}
+    for name in sorted(CONTENTION_SCENARIOS):
+        # The warm-up run doubles as the (deterministic) summary source.
+        summary = run_scenario(build_scenario(name, seed=0)).summary()
+        seconds = _time_best(lambda: run_scenario(build_scenario(name, seed=0)), repeats)
+        scenarios[name] = {
+            "seconds_per_run": seconds,
+            "workflows": summary["workflows"],
+            "total_queue_seconds": summary["total_queue_seconds"],
+            "occupancy_cost": summary["occupancy_cost"],
+            "wasted_occupancy_cost": summary["wasted_occupancy_cost"],
+            "node_pool_cost": summary["node_pool_cost"],
+            "preemptions": summary["preemptions"],
+            "queue_inclusive_regret": summary["queue_inclusive_regret"],
+            "accuracy": summary["accuracy"],
+        }
+    sweep = [
+        build_scenario(name, seed=seed)
+        for name in sorted(CONTENTION_SCENARIOS)
+        for seed in range(seeds)
+    ]
+    serial_seconds = _time_best(lambda: run_scenario_sweep(sweep, n_workers=1), repeats)
+    pool_seconds = (
+        _time_best(lambda: run_scenario_sweep(sweep, n_workers=n_workers), repeats)
+        if n_workers > 1
+        else serial_seconds
+    )
+    report = {
+        "benchmark": "contention_suite",
+        "cpu_count": os.cpu_count(),
+        "seeds": seeds,
+        "scenarios": scenarios,
+        "sweep_runs": len(sweep),
+        "sweep_serial_seconds": serial_seconds,
+        "sweep_pool_workers": n_workers,
+        "sweep_pool_seconds": pool_seconds,
+        "sweep_speedup": serial_seconds / pool_seconds if pool_seconds else 1.0,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=50)
@@ -276,16 +348,40 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
-    args = parser.parse_args(argv)
-    report = run_bench(
-        n_rounds=args.rounds,
-        n_simulations=args.simulations,
-        n_workers=args.workers,
-        repeats=args.repeats,
-        output=args.output,
+    parser.add_argument(
+        "--contention-output",
+        default=str(DEFAULT_CONTENTION_OUTPUT),
+        help="where the contention-suite report lands",
     )
-    for key, value in report.items():
-        print(f"{key}: {value}")
+    parser.add_argument(
+        "--suite",
+        choices=["engine", "contention", "all"],
+        default="all",
+        help="which benchmark(s) to run",
+    )
+    args = parser.parse_args(argv)
+    reports = []
+    if args.suite in ("engine", "all"):
+        reports.append(
+            run_bench(
+                n_rounds=args.rounds,
+                n_simulations=args.simulations,
+                n_workers=args.workers,
+                repeats=args.repeats,
+                output=args.output,
+            )
+        )
+    if args.suite in ("contention", "all"):
+        reports.append(
+            run_contention_bench(
+                n_workers=args.workers,
+                repeats=args.repeats,
+                output=args.contention_output,
+            )
+        )
+    for report in reports:
+        for key, value in report.items():
+            print(f"{key}: {value}")
     return 0
 
 

@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="also print the first N per-completion accounting rows",
     )
+    contention.add_argument(
+        "--sweep-seeds",
+        type=int,
+        default=0,
+        help=(
+            "instead of one run, sweep N seeds starting at --seed and print "
+            "per-seed summaries (--rows applies to single runs only)"
+        ),
+    )
+    contention.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the seed sweep (scenarios fan out over a pool)",
+    )
 
     gen = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to a directory")
     gen.add_argument("dataset", choices=sorted(_DATASET_BUILDERS))
@@ -173,6 +188,39 @@ def _cmd_run_experiment(args, out) -> int:
 
 
 def _cmd_run_contention(args, out) -> int:
+    if args.sweep_seeds > 0:
+        from repro.evaluation import run_scenario_sweep
+
+        seeds = range(args.seed, args.seed + args.sweep_seeds)
+        scenarios = [build_scenario(args.scenario, seed=seed) for seed in seeds]
+        results = run_scenario_sweep(scenarios, n_workers=max(args.workers, 1))
+        rows = []
+        for seed, result in zip(seeds, results):
+            summary = result.summary()
+            rows.append(
+                {
+                    "seed": seed,
+                    "workflows": int(summary["workflows"]),
+                    "queue_s": summary["total_queue_seconds"],
+                    "occupancy": summary["occupancy_cost"],
+                    "wasted": summary["wasted_occupancy_cost"],
+                    "pool_cost": summary["node_pool_cost"],
+                    "q_regret_s": summary["queue_inclusive_regret"],
+                    "accuracy": summary["accuracy"],
+                }
+            )
+        print(
+            format_metric_table(
+                rows,
+                title=(
+                    f"scenario {args.scenario!r} sweep over seeds "
+                    f"{seeds.start}..{seeds.stop - 1} "
+                    f"({max(args.workers, 1)} workers)"
+                ),
+            ),
+            file=out,
+        )
+        return 0
     scenario = build_scenario(args.scenario, seed=args.seed)
     print(
         f"running contention scenario {scenario.name!r} "

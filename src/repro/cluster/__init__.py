@@ -15,13 +15,17 @@ Components:
   request (a :class:`~repro.hardware.HardwareConfig`) with a lifecycle
   (pending → running → completed).
 * :mod:`~repro.cluster.scheduler` -- FIFO (head-of-line blocking), backfill
-  (skip-ahead first-fit) and best-fit bin-packing schedulers that place
-  pending pods onto nodes with sufficient free capacity.
+  (skip-ahead first-fit), best-fit bin-packing and priority/preemption
+  schedulers that place pending pods onto nodes with sufficient free
+  capacity.
+* :mod:`~repro.cluster.autoscaler` -- :class:`AutoscalingNodePool`, an
+  elastic node pool with provisioning delay and idle-node drain.
 * :mod:`~repro.cluster.simulator` -- :class:`ClusterSimulator`, which ties the
   pieces together and exposes the ``submit → run → observe runtime`` loop the
   online recommender drives.
 """
 
+from repro.cluster.autoscaler import AutoscalingNodePool, ScaleEvent
 from repro.cluster.events import Event, EventQueue
 from repro.cluster.node import Node, InsufficientCapacityError
 from repro.cluster.pod import Pod, PodPhase
@@ -29,6 +33,8 @@ from repro.cluster.scheduler import (
     BackfillScheduler,
     BestFitScheduler,
     FIFOScheduler,
+    PreemptionDecision,
+    PriorityScheduler,
     SchedulingDecision,
 )
 from repro.cluster.simulator import ClusterSimulator, CompletedRun
@@ -43,7 +49,11 @@ __all__ = [
     "FIFOScheduler",
     "BackfillScheduler",
     "BestFitScheduler",
+    "PriorityScheduler",
+    "PreemptionDecision",
     "SchedulingDecision",
+    "AutoscalingNodePool",
+    "ScaleEvent",
     "ClusterSimulator",
     "CompletedRun",
 ]

@@ -35,6 +35,10 @@ class Pod:
         analysis of what ran where).
     application:
         Application name the pod belongs to.
+    priority:
+        Priority class (higher = more important).  Only the
+        :class:`~repro.cluster.scheduler.PriorityScheduler` reads it; the
+        FIFO family treats every pod equally.
     submit_time, start_time, finish_time:
         Simulation timestamps (seconds); ``None`` until the corresponding
         transition happens.
@@ -42,32 +46,65 @@ class Pod:
         Name of the node the pod was placed on.
     phase:
         Current lifecycle phase.
+    preemptions:
+        How many times the pod was preempted (evicted mid-run and requeued).
+    wasted_runtime_seconds:
+        Run time lost to preemptions: the work is checkpoint-free, so every
+        eviction discards the partial execution and the pod restarts from
+        scratch.
     """
 
     name: str
     request: HardwareConfig
     features: Dict[str, float] = field(default_factory=dict)
     application: str = "unknown"
+    priority: int = 0
     submit_time: Optional[float] = None
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     node: Optional[str] = None
     phase: PodPhase = PodPhase.PENDING
+    preemptions: int = 0
+    wasted_runtime_seconds: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: accumulated time spent waiting for capacity (all pending stretches)
+    _waited_seconds: float = field(default=0.0, repr=False)
+    #: when the current pending stretch began (None while running/terminal)
+    _queued_since: Optional[float] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     def mark_submitted(self, time: float) -> None:
         if self.submit_time is not None:
             raise RuntimeError(f"pod {self.name!r} was already submitted")
         self.submit_time = float(time)
+        self._queued_since = float(time)
         self.phase = PodPhase.PENDING
 
     def mark_running(self, time: float, node: str) -> None:
         if self.phase is not PodPhase.PENDING:
             raise RuntimeError(f"pod {self.name!r} cannot start from phase {self.phase}")
+        if self._queued_since is not None:
+            self._waited_seconds += float(time) - self._queued_since
+            self._queued_since = None
         self.start_time = float(time)
         self.node = node
         self.phase = PodPhase.RUNNING
+
+    def mark_preempted(self, time: float) -> None:
+        """Evict a running pod back to the pending queue (checkpoint-free).
+
+        The partial execution is discarded: the elapsed run time is added to
+        :attr:`wasted_runtime_seconds` and the pod waits for capacity again
+        from scratch.
+        """
+        if self.phase is not PodPhase.RUNNING:
+            raise RuntimeError(f"pod {self.name!r} cannot be preempted from phase {self.phase}")
+        self.wasted_runtime_seconds += float(time) - float(self.start_time or 0.0)
+        self.preemptions += 1
+        self.start_time = None
+        self.node = None
+        self._queued_since = float(time)
+        self.phase = PodPhase.PENDING
 
     def mark_finished(self, time: float, succeeded: bool = True) -> None:
         if self.phase is not PodPhase.RUNNING:
@@ -78,10 +115,14 @@ class Pod:
     # ------------------------------------------------------------------ #
     @property
     def queue_seconds(self) -> Optional[float]:
-        """Time spent pending before starting, if both timestamps are known."""
+        """Total time spent pending before (each) start, if the pod ever started.
+
+        For a never-preempted pod this is exactly ``start_time - submit_time``;
+        preempted pods accumulate every pending stretch.
+        """
         if self.submit_time is None or self.start_time is None:
             return None
-        return self.start_time - self.submit_time
+        return self._waited_seconds
 
     @property
     def runtime_seconds(self) -> Optional[float]:
@@ -102,10 +143,13 @@ class Pod:
             "hardware": self.request.name,
             "node": self.node,
             "phase": self.phase.value,
+            "priority": self.priority,
             "submit_time": self.submit_time,
             "start_time": self.start_time,
             "finish_time": self.finish_time,
             "queue_seconds": self.queue_seconds,
             "runtime_seconds": self.runtime_seconds,
+            "preemptions": self.preemptions,
+            "wasted_runtime_seconds": self.wasted_runtime_seconds,
             **{f"feature_{k}": v for k, v in self.features.items()},
         }

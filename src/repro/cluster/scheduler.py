@@ -4,12 +4,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod
 
-__all__ = ["SchedulingDecision", "FIFOScheduler", "BackfillScheduler", "BestFitScheduler"]
+__all__ = [
+    "SchedulingDecision",
+    "PreemptionDecision",
+    "FIFOScheduler",
+    "BackfillScheduler",
+    "BestFitScheduler",
+    "PriorityScheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +42,25 @@ class SchedulingDecision:
         return self.node_name is not None
 
 
+@dataclass(frozen=True)
+class PreemptionDecision:
+    """A plan to make room for a pod by evicting lower-priority victims.
+
+    Attributes
+    ----------
+    pod_name:
+        The pod the evictions make room for.
+    node_name:
+        The node the victims run on (and the pod will be placed on).
+    victims:
+        Names of the running pods to evict, in eviction order.
+    """
+
+    pod_name: str
+    node_name: str
+    victims: Tuple[str, ...]
+
+
 class Scheduler(abc.ABC):
     """Base class: pick a node (or none) for a pending pod."""
 
@@ -44,6 +70,11 @@ class Scheduler(abc.ABC):
     #: that do fit ("backfill"), which improves utilisation but can starve a
     #: large request behind a stream of small ones.
     head_of_line_blocking: bool = False
+
+    #: Whether :meth:`select_victims` may propose evicting running pods to
+    #: make room for a blocked pod.  Only the :class:`PriorityScheduler`
+    #: enables this.
+    supports_preemption: bool = False
 
     @abc.abstractmethod
     def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
@@ -56,6 +87,29 @@ class Scheduler(abc.ABC):
             node = next(n for n in nodes if n.name == decision.node_name)
             node.allocate(pod.name, pod.request)
         return decision
+
+    def sort_pending(self, pods: Sequence[Pod]) -> List[Pod]:
+        """Service order of the pending queue (submission order by default).
+
+        The simulator keeps the queue in arrival order; schedulers that
+        implement priority classes reorder it here.  The sort must be stable
+        so pods within one class keep first-in-first-out order.
+        """
+        return list(pods)
+
+    def select_victims(
+        self,
+        pod: Pod,
+        nodes: Sequence[Node],
+        running: Mapping[str, Sequence[Pod]],
+    ) -> Optional[PreemptionDecision]:
+        """Propose running pods to evict so ``pod`` fits (``None`` = don't).
+
+        ``running`` maps node name to the pods currently executing there.
+        Only consulted when :attr:`supports_preemption` is true and
+        :meth:`select_node` found no room.
+        """
+        return None
 
 
 class FIFOScheduler(Scheduler):
@@ -117,3 +171,84 @@ class BestFitScheduler(Scheduler):
             ),
         )
         return SchedulingDecision(pod.name, best.name, "best-fit on remaining CPU")
+
+
+class PriorityScheduler(FIFOScheduler):
+    """Priority classes with first-fit placement and optional preemption.
+
+    The pending queue is served highest priority class first; within one
+    class, strict first-in-first-out order is preserved (the sort is stable
+    on submission order).  The head-of-line discipline is inherited from
+    :class:`FIFOScheduler`: because the queue is priority-sorted, a blocked
+    pod only ever blocks pods of its own or lower classes -- a higher-class
+    pod is always ahead of it -- so no class can starve a class above it.
+
+    With ``preemption`` enabled (the default), a blocked pod may evict
+    strictly-lower-priority *running* pods to make room.  Victims are chosen
+    on a single node, lowest priority first and most-recently-started first
+    within a class (least work discarded -- evictions are checkpoint-free, so
+    the victim's partial execution is wasted and it requeues from scratch).
+    Among nodes that can be freed, the one needing the fewest evictions wins,
+    ties broken toward the most recently started victims (least total run
+    time wasted).
+    """
+
+    def __init__(self, preemption: bool = True):
+        self.supports_preemption = bool(preemption)
+
+    def sort_pending(self, pods: Sequence[Pod]) -> List[Pod]:
+        return sorted(
+            pods, key=lambda p: -p.priority
+        )  # stable: arrival order within a class
+
+    def select_victims(
+        self,
+        pod: Pod,
+        nodes: Sequence[Node],
+        running: Mapping[str, Sequence[Pod]],
+    ) -> Optional[PreemptionDecision]:
+        if not self.supports_preemption:
+            return None
+        best_plan: Optional[Tuple[int, float, str, Tuple[str, ...]]] = None
+        for node in nodes:
+            candidates = [
+                victim
+                for victim in running.get(node.name, ())
+                if victim.priority < pod.priority
+            ]
+            # Evict the cheapest work first: lowest class, then the pod that
+            # has run for the shortest time (least wasted execution).
+            candidates.sort(
+                key=lambda v: (v.priority, -(v.start_time or 0.0), v.name)
+            )
+            free_cpus = node.free_cpus
+            free_mem = node.free_memory_gb
+            free_gpus = node.free_gpus
+            victims: List[Pod] = []
+            for victim in candidates:
+                if (
+                    free_cpus >= pod.request.cpus
+                    and free_mem >= pod.request.memory_gb
+                    and free_gpus >= pod.request.gpus
+                ):
+                    break
+                victims.append(victim)
+                free_cpus += victim.request.cpus
+                free_mem += victim.request.memory_gb
+                free_gpus += victim.request.gpus
+            if (
+                free_cpus < pod.request.cpus
+                or free_mem < pod.request.memory_gb
+                or free_gpus < pod.request.gpus
+            ):
+                continue  # even evicting every eligible victim is not enough
+            if not victims:
+                continue  # the pod fits without evictions; not a preemption case
+            started = -sum(v.start_time or 0.0 for v in victims)
+            plan = (len(victims), started, node.name, tuple(v.name for v in victims))
+            if best_plan is None or plan < best_plan:
+                best_plan = plan
+        if best_plan is None:
+            return None
+        _, _, node_name, victims = best_plan
+        return PreemptionDecision(pod_name=pod.name, node_name=node_name, victims=victims)

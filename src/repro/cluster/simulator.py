@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.autoscaler import AutoscalerState, AutoscalingNodePool, ScaleEvent
 from repro.cluster.events import EventQueue
 from repro.cluster.node import InsufficientCapacityError, Node
 from repro.cluster.pod import Pod, PodPhase
@@ -60,6 +61,10 @@ class CompletedRun:
         Simulation time the run completed.  Synchronous runs do not advance
         the clock, so they report whatever the clock read when they were
         executed; use ``pod_name is None`` to tell the two modes apart.
+    preemptions:
+        How many times the pod was evicted and requeued before completing.
+    wasted_runtime_seconds:
+        Run time discarded by those evictions (checkpoint-free restarts).
     """
 
     record: RunRecord
@@ -67,6 +72,8 @@ class CompletedRun:
     node: str
     pod_name: Optional[str] = None
     finish_time: float = 0.0
+    preemptions: int = 0
+    wasted_runtime_seconds: float = 0.0
 
 
 def _default_nodes() -> List[Node]:
@@ -96,6 +103,11 @@ class ClusterSimulator:
         Seed for runtime-noise draws.
     log:
         Optional event log recording submissions, placements and completions.
+    autoscaler:
+        Optional :class:`~repro.cluster.autoscaler.AutoscalingNodePool`
+        description.  When given, pods that cannot be placed trigger
+        scale-up requests (new nodes join after the pool's provisioning
+        delay, via events in the main queue) and idle pool nodes are drained.
     """
 
     def __init__(
@@ -106,6 +118,7 @@ class ClusterSimulator:
         scheduler: Optional[Scheduler] = None,
         seed: SeedLike = None,
         log: Optional[EventLog] = None,
+        autoscaler: Optional[AutoscalingNodePool] = None,
     ):
         self.workload = workload
         self.catalog = catalog
@@ -119,13 +132,15 @@ class ClusterSimulator:
         self._pending: List[Pod] = []
         self._pods: Dict[str, Pod] = {}
         self._pod_workloads: Dict[str, WorkloadModel] = {}
-        # Feasibility verdicts per hardware name.  Node *total* capacity is
-        # fixed at construction, so the probe answer never changes; caching
-        # keeps the per-submit check at dict-lookup cost.
+        # Feasibility verdicts per hardware name.  They are judged against
+        # node *total* capacity, so the answers only change when the node set
+        # itself changes -- which only the autoscaler does, and every
+        # topology change clears this cache.
         self._feasibility: Dict[str, Optional[str]] = {}
         self._completed: List[CompletedRun] = []
         self._pod_counter = itertools.count(1)
         self._run_counter = itertools.count(1)
+        self._autoscaler = AutoscalerState(autoscaler) if autoscaler is not None else None
 
     # ------------------------------------------------------------------ #
     @property
@@ -159,7 +174,8 @@ class ClusterSimulator:
         Feasibility is judged against each node's *total* capacity (a run
         executed "alone"), not its current free capacity, so the answer is
         stable regardless of what is queued (and is cached per hardware
-        name).  Returns ``None`` when no node can ever fit the request.
+        name; autoscaler topology changes clear the cache).  Returns ``None``
+        when no current node can ever fit the request.
         """
         if request.name not in self._feasibility:
             pristine = [n.clone() for n in self.nodes]
@@ -170,6 +186,18 @@ class ClusterSimulator:
         if node_name is None:
             return None
         return next(n for n in self.nodes if n.name == node_name)
+
+    def request_feasible(self, request: HardwareConfig) -> bool:
+        """Whether ``request`` can ever be scheduled.
+
+        True when some current node's total capacity fits it, or when the
+        autoscaler could provision a pool node that does.
+        """
+        if self.feasible_node(request) is not None:
+            return True
+        return self._autoscaler is not None and self._autoscaler.pool.fits_template(
+            request.cpus, request.memory_gb, request.gpus
+        )
 
     # ------------------------------------------------------------------ #
     # Synchronous single-run interface (what the bandit loop uses)
@@ -234,6 +262,7 @@ class ClusterSimulator:
         hardware: HardwareConfig | str,
         at_time: Optional[float] = None,
         workload: Optional[WorkloadModel] = None,
+        priority: int = 0,
     ) -> Pod:
         """Submit a pod requesting ``hardware`` for a workflow with ``features``.
 
@@ -241,18 +270,21 @@ class ClusterSimulator:
         ground-truth runtime; it defaults to the simulator's own workload.
         Passing it per pod lets multiple tenants (applications) share one
         cluster, which is what the contention-aware evaluation drives.
+        ``priority`` is the pod's priority class (higher = more important);
+        only priority-aware schedulers read it.
 
         Raises
         ------
         InsufficientCapacityError
-            If the request exceeds every node's *total* capacity (same rule
-            as :meth:`run_workload`).  Under the FIFO scheduler's
-            head-of-line blocking an infeasible pod would silently wedge
-            every pod behind it until the event budget drains, so the two
-            modes fail fast and consistently at the point of error instead.
+            If the request exceeds every node's *total* capacity and no
+            autoscaler pool node could ever fit it (same rule as
+            :meth:`run_workload`).  Under the FIFO scheduler's head-of-line
+            blocking an infeasible pod would silently wedge every pod behind
+            it until the event budget drains, so the two modes fail fast and
+            consistently at the point of error instead.
         """
         config = self._resolve_hardware(hardware)
-        if self.feasible_node(config) is None:
+        if not self.request_feasible(config):
             raise InsufficientCapacityError(
                 f"request {config.as_tuple()} exceeds every node's total capacity "
                 "and can never be scheduled; "
@@ -265,6 +297,7 @@ class ClusterSimulator:
             request=config,
             features=dict(features),
             application=workload.name,
+            priority=int(priority),
         )
         submit_time = self.now if at_time is None else float(at_time)
         self._events.push(submit_time, "pod_submitted", pod_name=name)
@@ -273,28 +306,101 @@ class ClusterSimulator:
         self.log.record("cluster", "pod_submitted", time=submit_time, pod=name, hardware=config.name)
         return pod
 
+    def _running_pods_by_node(self) -> Dict[str, List[Pod]]:
+        """Currently running pods grouped by the node they occupy."""
+        return {
+            node.name: [self._pods[name] for name in node.allocations]
+            for node in self.nodes
+        }
+
+    def _start_pod(self, pod: Pod, node_name: str, reason: str) -> None:
+        """Transition a placed pod to running and schedule its completion."""
+        pod.mark_running(self.now, node_name)
+        if self._autoscaler is not None:
+            self._autoscaler.idle_since.pop(node_name, None)
+        workload = self._pod_workloads.get(pod.name, self.workload)
+        runtime = workload.observed_runtime(pod.features, pod.request, self._rng)
+        pod.metadata["planned_runtime"] = runtime
+        # Tag the completion with the attempt number: a preemption bumps the
+        # pod's attempt, turning any in-flight completion event stale.
+        self._events.push_in(
+            runtime, "pod_finished", pod_name=pod.name, attempt=pod.metadata.get("attempt", 0)
+        )
+        self.log.record(
+            "scheduler",
+            "pod_scheduled",
+            time=self.now,
+            pod=pod.name,
+            node=node_name,
+            reason=reason,
+        )
+
+    def _preempt_victims(self, plan) -> List[Pod]:
+        """Evict the plan's victims (checkpoint-free) and return them."""
+        node = next(n for n in self.nodes if n.name == plan.node_name)
+        victims: List[Pod] = []
+        for name in plan.victims:
+            victim = self._pods[name]
+            node.release(name)
+            victim.metadata["attempt"] = victim.metadata.get("attempt", 0) + 1
+            victim.mark_preempted(self.now)
+            victims.append(victim)
+            self.log.record(
+                "scheduler",
+                "pod_preempted",
+                time=self.now,
+                pod=name,
+                node=plan.node_name,
+                preempted_by=plan.pod_name,
+            )
+        return victims
+
     def _try_schedule_pending(self) -> None:
+        while self._schedule_pass():
+            pass
+        self._maybe_scale_up()
+
+    def _schedule_pass(self) -> bool:
+        """One pass over the pending queue; True when a preemption restarted it.
+
+        A preemption requeues its victims and aborts the pass: the victims
+        must compete for the eviction's leftover capacity *before* any pod
+        queued behind them (they were admitted -- and running -- earlier
+        than everything still pending in their class), so the pass restarts
+        with the victims merged at the front of the queue.  Chains
+        terminate because every preemption places a strictly
+        higher-priority pod than each pod it evicts.
+        """
         still_pending: List[Pod] = []
         blocked = False
-        for i, pod in enumerate(self._pending):
+        queue = self.scheduler.sort_pending(self._pending)
+        for i, pod in enumerate(queue):
             if blocked:
-                still_pending.extend(self._pending[i:])
+                still_pending.extend(queue[i:])
                 break
             decision = self.scheduler.schedule(pod, self.nodes)
-            if decision.placed:
-                pod.mark_running(self.now, decision.node_name)
-                workload = self._pod_workloads.get(pod.name, self.workload)
-                runtime = workload.observed_runtime(pod.features, pod.request, self._rng)
-                pod.metadata["planned_runtime"] = runtime
-                self._events.push_in(runtime, "pod_finished", pod_name=pod.name)
-                self.log.record(
-                    "scheduler",
-                    "pod_scheduled",
-                    time=self.now,
-                    pod=pod.name,
-                    node=decision.node_name,
-                    reason=decision.reason,
+            if not decision.placed and self.scheduler.supports_preemption:
+                plan = self.scheduler.select_victims(
+                    pod, self.nodes, self._running_pods_by_node()
                 )
+                if plan is not None:
+                    victims = self._preempt_victims(plan)
+                    decision = self.scheduler.schedule(pod, self.nodes)
+                    if decision.placed:
+                        self._start_pod(pod, decision.node_name, decision.reason)
+                        remaining = queue[i + 1 :]
+                    else:  # pragma: no cover - plan guarantees a fit
+                        remaining = queue[i:]
+                    # Victim plans list most-recently-started first; re-sort
+                    # by pod name (pod-NNNNNN, monotonic in submission
+                    # order) to keep FIFO among same-class victims.  The
+                    # restart re-sorts classes, so front placement pins the
+                    # within-class order only.
+                    victims.sort(key=lambda p: p.name)
+                    self._pending = victims + still_pending + remaining
+                    return True
+            if decision.placed:
+                self._start_pod(pod, decision.node_name, decision.reason)
             else:
                 still_pending.append(pod)
                 # Strict FIFO service order: an unplaceable pod at the head of
@@ -303,6 +409,109 @@ class ClusterSimulator:
                 if self.scheduler.head_of_line_blocking:
                     blocked = True
         self._pending = still_pending
+        return False
+
+    def _maybe_scale_up(self) -> None:
+        """Request pool nodes for pending pods that current capacity can't place.
+
+        The deficit is computed by first-fit packing the eligible pending
+        pods into fresh template nodes, minus capacity already being
+        provisioned, capped by the pool's ``max_nodes``.
+        """
+        state = self._autoscaler
+        if state is None or not self._pending:
+            return
+        pool = state.pool
+        # Unschedulable right now (no node has free room) and eligible for a
+        # pool node.  Pods merely blocked behind a bigger head-of-line pod do
+        # not trigger scale-up; pods that will get room when a running pod
+        # finishes may -- autoscalers over-provision under churn by design.
+        waiting = [
+            pod
+            for pod in self._pending
+            if not any(node.fits(pod.request) for node in self.nodes)
+            and pool.fits_template(pod.request.cpus, pod.request.memory_gb, pod.request.gpus)
+        ]
+        if not waiting:
+            return
+        # First-fit the waiting pods into hypothetical empty template nodes.
+        bins: List[List[float]] = []  # [free_cpus, free_mem, free_gpus]
+        for pod in waiting:
+            req = pod.request
+            for b in bins:
+                if req.cpus <= b[0] and req.memory_gb <= b[1] and req.gpus <= b[2]:
+                    b[0] -= req.cpus
+                    b[1] -= req.memory_gb
+                    b[2] -= req.gpus
+                    break
+            else:
+                bins.append(
+                    [
+                        pool.node_cpus - req.cpus,
+                        pool.node_memory_gb - req.memory_gb,
+                        pool.node_gpus - req.gpus,
+                    ]
+                )
+        deficit = len(bins) - state.in_flight
+        budget = pool.max_nodes - state.total
+        for _ in range(max(0, min(deficit, budget))):
+            name = state.next_name()
+            state.in_flight += 1
+            ready = self.now + pool.provision_delay_seconds
+            self._events.push(ready, "node_provisioned", node_name=name)
+            state.events.append(ScaleEvent(self.now, "scale_up_requested", name))
+            self.log.record(
+                "autoscaler", "scale_up_requested", time=self.now, node=name, ready_at=ready
+            )
+
+    def _handle_node_provisioned(self, event) -> None:
+        state = self._autoscaler
+        assert state is not None, "node_provisioned without an autoscaler"
+        name = event.payload["node_name"]
+        self.nodes.append(state.pool.template_node(name))
+        self._feasibility.clear()
+        state.in_flight -= 1
+        state.alive += 1
+        state.provisioned_at[name] = float(event.time)
+        state.events.append(ScaleEvent(float(event.time), "node_provisioned", name))
+        self.log.record("autoscaler", "node_provisioned", time=event.time, node=name)
+        self._mark_node_idle(name, float(event.time))
+        self._try_schedule_pending()
+
+    def _mark_node_idle(self, node_name: str, time: float) -> None:
+        """Stamp a pool node idle and schedule its drain check."""
+        state = self._autoscaler
+        if state is None or node_name not in state.provisioned_at:
+            return
+        state.idle_since[node_name] = time
+        if state.pool.scale_down_idle_seconds is not None:
+            self._events.push(
+                time + state.pool.scale_down_idle_seconds,
+                "node_drain_check",
+                node_name=node_name,
+                idle_stamp=time,
+            )
+
+    def _handle_node_drain_check(self, event) -> None:
+        state = self._autoscaler
+        if state is None:
+            return
+        name = event.payload["node_name"]
+        # Stale check: the node was reused (or already drained) since the
+        # stamp was taken.
+        if state.idle_since.get(name) != event.payload["idle_stamp"]:
+            return
+        node = next((n for n in self.nodes if n.name == name), None)
+        if node is None or node.allocations:
+            return
+        self.nodes.remove(node)
+        self._feasibility.clear()
+        state.alive -= 1
+        state.idle_since.pop(name, None)
+        started = state.provisioned_at.pop(name)
+        state.lifetimes.append((name, started, float(event.time)))
+        state.events.append(ScaleEvent(float(event.time), "node_drained", name))
+        self.log.record("autoscaler", "node_drained", time=event.time, node=name)
 
     def _handle_event(self, event) -> None:
         if event.kind == "pod_submitted":
@@ -312,6 +521,8 @@ class ClusterSimulator:
             self._try_schedule_pending()
         elif event.kind == "pod_finished":
             pod = self._pods[event.payload["pod_name"]]
+            if event.payload.get("attempt", 0) != pod.metadata.get("attempt", 0):
+                return  # stale completion: the pod was preempted mid-run
             node = next(n for n in self.nodes if n.name == pod.node)
             node.release(pod.name)
             pod.mark_finished(event.time, succeeded=True)
@@ -334,6 +545,8 @@ class ClusterSimulator:
                     node=pod.node or "",
                     pod_name=pod.name,
                     finish_time=float(event.time),
+                    preemptions=pod.preemptions,
+                    wasted_runtime_seconds=pod.wasted_runtime_seconds,
                 )
             )
             self.log.record(
@@ -343,7 +556,13 @@ class ClusterSimulator:
                 pod=pod.name,
                 runtime=pod.runtime_seconds,
             )
+            if not node.allocations:
+                self._mark_node_idle(node.name, float(event.time))
             self._try_schedule_pending()
+        elif event.kind == "node_provisioned":
+            self._handle_node_provisioned(event)
+        elif event.kind == "node_drain_check":
+            self._handle_node_drain_check(event)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown event kind {event.kind!r}")
 
@@ -362,7 +581,7 @@ class ClusterSimulator:
         if self._pending:
             # Defensive: submit() rejects infeasible requests up front, so
             # this can only trigger if capacity was mutated after admission.
-            infeasible = [p.name for p in self._pending if self.feasible_node(p.request) is None]
+            infeasible = [p.name for p in self._pending if not self.request_feasible(p.request)]
             blocked = [p.name for p in self._pending if p.name not in set(infeasible)]
             message = (
                 f"pods {infeasible} can never be scheduled: "
@@ -396,6 +615,29 @@ class ClusterSimulator:
     def has_work(self) -> bool:
         """Whether any events remain to process (pods submitted, running or queued)."""
         return bool(self._events)
+
+    # ------------------------------------------------------------------ #
+    # Autoscaler introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def scale_events(self) -> List[ScaleEvent]:
+        """Autoscaling actions so far (empty without an autoscaler)."""
+        return list(self._autoscaler.events) if self._autoscaler is not None else []
+
+    def pool_node_lifetimes(self) -> List[tuple]:
+        """``(node_name, provisioned_at, drained_at)`` per pool node.
+
+        Nodes still alive report the current simulation time as their
+        (provisional) end, so lifetime cost can be integrated at any point.
+        """
+        if self._autoscaler is None:
+            return []
+        done = list(self._autoscaler.lifetimes)
+        done.extend(
+            (name, started, self.now)
+            for name, started in sorted(self._autoscaler.provisioned_at.items())
+        )
+        return done
 
     # ------------------------------------------------------------------ #
     def utilisation(self) -> Dict[str, Dict[str, float]]:

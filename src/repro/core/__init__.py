@@ -31,7 +31,7 @@ from repro.core.policies import (
     RandomPolicy,
     ThompsonSamplingPolicy,
 )
-from repro.core.rewards import RegretLedger, RoundOutcome, runtime_to_reward
+from repro.core.rewards import RegretLedger, RewardConfig, RoundOutcome, runtime_to_reward
 from repro.core.selection import SelectionOutcome, ToleranceConfig, TolerantSelector
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "TolerantSelector",
     "SelectionOutcome",
     "RegretLedger",
+    "RewardConfig",
     "RoundOutcome",
     "runtime_to_reward",
 ]

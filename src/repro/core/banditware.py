@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.models import ArmModel, LeastSquaresModel
 from repro.core.policies import BanditPolicy, DecayingEpsilonGreedyPolicy, PolicyDecision
+from repro.core.rewards import RewardConfig
 from repro.core.selection import ToleranceConfig
 from repro.dataframe import DataFrame
 from repro.hardware import HardwareCatalog, HardwareConfig
@@ -65,11 +66,16 @@ class Recommendation:
 
 @dataclass(frozen=True)
 class ObservationRecord:
-    """One observation fed back to the recommender."""
+    """One observation fed back to the recommender.
+
+    ``queue_seconds`` is the capacity-wait the workflow reported alongside
+    its runtime (0 for contention-free observations).
+    """
 
     features: Dict[str, float]
     hardware: str
     runtime_seconds: float
+    queue_seconds: float = 0.0
 
 
 class BanditWare:
@@ -99,6 +105,12 @@ class BanditWare:
         When true (default) every observation is appended to :attr:`history`.
         The evaluation engine disables this to avoid per-round bookkeeping it
         never reads; decisions are unaffected.
+    reward:
+        Observation shaping (:class:`~repro.core.rewards.RewardConfig`).  The
+        default ``runtime`` mode trains on observed runtimes exactly as the
+        paper does; the opt-in ``queue_inclusive`` mode folds reported
+        queueing delay into the training target so the bandit learns to
+        avoid contended hardware.
     """
 
     def __init__(
@@ -110,6 +122,7 @@ class BanditWare:
         arm_model_factory: Optional[Callable[[int], ArmModel]] = None,
         seed: SeedLike = None,
         track_history: bool = True,
+        reward: Optional[RewardConfig] = None,
     ):
         if not feature_names:
             raise ValueError("feature_names must contain at least one feature")
@@ -124,6 +137,7 @@ class BanditWare:
         self._models: List[ArmModel] = [self._factory(len(names)) for _ in catalog]
         self._history: List[ObservationRecord] = []
         self.track_history = bool(track_history)
+        self.reward = reward or RewardConfig()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -201,10 +215,18 @@ class BanditWare:
         features: Dict[str, float],
         hardware: Union[str, HardwareConfig],
         runtime_seconds: float,
+        queue_seconds: float = 0.0,
     ) -> None:
-        """Feed back the observed runtime of a workflow run on ``hardware``."""
+        """Feed back the observed runtime of a workflow run on ``hardware``.
+
+        ``queue_seconds`` reports how long the workflow waited for cluster
+        capacity; it only shapes the learning signal when the recommender's
+        :attr:`reward` is in ``queue_inclusive`` mode.
+        """
         context = self.context_vector(features)
-        self.observe_vector(context, hardware, runtime_seconds, features=features)
+        self.observe_vector(
+            context, hardware, runtime_seconds, features=features, queue_seconds=queue_seconds
+        )
 
     def observe_vector(
         self,
@@ -213,6 +235,7 @@ class BanditWare:
         runtime_seconds: float,
         features: Optional[Dict[str, float]] = None,
         validate: bool = True,
+        queue_seconds: float = 0.0,
     ) -> None:
         """Feed back one observation given an already-ordered context vector.
 
@@ -243,8 +266,10 @@ class BanditWare:
             arm = hardware
         else:
             arm = self.catalog.index_of(hardware)
-        self._models[arm].update_vector(context, runtime_seconds)
-        self.policy.observe(arm, context, runtime_seconds)
+        # In the default "runtime" mode this is runtime_seconds, untouched.
+        target = self.reward.effective_runtime(runtime_seconds, queue_seconds)
+        self._models[arm].update_vector(context, target)
+        self.policy.observe(arm, context, target)
         if self.track_history:
             if features is None:
                 features = dict(zip(self.feature_names, map(float, context)))
@@ -253,6 +278,7 @@ class BanditWare:
                     features={k: float(v) for k, v in features.items()},
                     hardware=self.catalog[arm].name,
                     runtime_seconds=runtime_seconds,
+                    queue_seconds=float(queue_seconds),
                 )
             )
 
@@ -261,6 +287,7 @@ class BanditWare:
         features_batch: Sequence[Dict[str, float]],
         hardware: Sequence[Union[str, HardwareConfig]],
         runtimes_seconds: Sequence[float],
+        queues_seconds: Optional[Sequence[float]] = None,
     ) -> None:
         """Feed back a batch of observations in one call.
 
@@ -271,11 +298,20 @@ class BanditWare:
         skipped (via :meth:`ArmModel.update_batch`), which is where the batch
         path earns its speedup.  All rows are validated before any state
         changes.
+
+        ``queues_seconds`` optionally reports each workflow's capacity wait;
+        like :meth:`observe`, it only shapes the learning signal in
+        ``queue_inclusive`` reward mode.
         """
         if not (len(features_batch) == len(hardware) == len(runtimes_seconds)):
             raise ValueError(
                 f"batch length mismatch: {len(features_batch)} feature dicts, "
                 f"{len(hardware)} hardware entries, {len(runtimes_seconds)} runtimes"
+            )
+        if queues_seconds is not None and len(queues_seconds) != len(runtimes_seconds):
+            raise ValueError(
+                f"batch length mismatch: {len(runtimes_seconds)} runtimes but "
+                f"{len(queues_seconds)} queue delays"
             )
         contexts = [self.context_vector(features) for features in features_batch]
         if contexts and not np.all(np.isfinite(np.vstack(contexts))):
@@ -287,21 +323,31 @@ class BanditWare:
                 raise ValueError(
                     f"runtime_seconds must be finite and non-negative, got {runtime}"
                 )
+        queues = [0.0] * len(runtimes) if queues_seconds is None else [float(q) for q in queues_seconds]
+        # effective_runtime validates queue delays (and is the identity in
+        # the default "runtime" mode).
+        targets = [
+            self.reward.effective_runtime(runtime, queue)
+            for runtime, queue in zip(runtimes, queues)
+        ]
         per_arm_X: Dict[int, List[np.ndarray]] = {}
         per_arm_y: Dict[int, List[float]] = {}
-        for context, arm, runtime in zip(contexts, arms, runtimes):
+        for context, arm, target in zip(contexts, arms, targets):
             per_arm_X.setdefault(arm, []).append(context)
-            per_arm_y.setdefault(arm, []).append(runtime)
+            per_arm_y.setdefault(arm, []).append(target)
         for arm, rows in per_arm_X.items():
             self._models[arm].update_batch(np.vstack(rows), per_arm_y[arm])
-        for features, context, arm, runtime in zip(features_batch, contexts, arms, runtimes):
-            self.policy.observe(arm, context, runtime)
+        for features, context, arm, target, runtime, queue in zip(
+            features_batch, contexts, arms, targets, runtimes, queues
+        ):
+            self.policy.observe(arm, context, target)
             if self.track_history:
                 self._history.append(
                     ObservationRecord(
                         features={k: float(v) for k, v in features.items()},
                         hardware=self.catalog[arm].name,
                         runtime_seconds=runtime,
+                        queue_seconds=queue,
                     )
                 )
 

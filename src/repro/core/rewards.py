@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RoundOutcome", "RegretLedger", "runtime_to_reward"]
+__all__ = ["RewardConfig", "RoundOutcome", "RegretLedger", "runtime_to_reward"]
 
 
 def runtime_to_reward(runtime_seconds: float, scale: float = 1.0) -> float:
@@ -42,6 +42,65 @@ def runtime_to_reward(runtime_seconds: float, scale: float = 1.0) -> float:
     if not np.isfinite(runtime_seconds) or runtime_seconds < 0:
         raise ValueError(f"runtime must be finite and non-negative, got {runtime_seconds}")
     return -runtime_seconds / scale
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """How an observed completion is turned into the bandit's learning signal.
+
+    The paper's loop trains each arm's runtime model on the observed runtime
+    alone.  On a shared cluster that signal is blind to the damage an
+    over-sized allocation does: a big arm may run fastest once placed while
+    making every workflow (its own included) wait longer for capacity.  The
+    opt-in ``queue_inclusive`` mode folds the observed queueing delay into
+    the training target, so the per-arm models learn *queue-inclusive*
+    runtimes and tolerant selection steers away from contended hardware.
+
+    Parameters
+    ----------
+    mode:
+        ``"runtime"`` (the paper's signal, the default) or
+        ``"queue_inclusive"``.
+    queue_weight:
+        Seconds of training-target inflation per second of queueing delay
+        (only used in ``queue_inclusive`` mode).  ``1.0`` charges waiting at
+        par with running; values below 1 discount it.
+    """
+
+    mode: str = "runtime"
+    queue_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("runtime", "queue_inclusive"):
+            raise ValueError(
+                f"unknown reward mode {self.mode!r}; choose 'runtime' or 'queue_inclusive'"
+            )
+        if self.queue_weight < 0:
+            raise ValueError(f"queue_weight must be non-negative, got {self.queue_weight}")
+
+    @property
+    def queue_aware(self) -> bool:
+        return self.mode == "queue_inclusive"
+
+    def effective_runtime(self, runtime_seconds: float, queue_seconds: float = 0.0) -> float:
+        """The training target for one completion.
+
+        In ``runtime`` mode this returns ``runtime_seconds`` unchanged (bit
+        for bit -- the default config cannot perturb the paper's loop); in
+        ``queue_inclusive`` mode it returns
+        ``runtime_seconds + queue_weight * queue_seconds``.  An invalid
+        (negative or non-finite) queue delay is rejected in *both* modes, so
+        callers get mode-independent validation.
+        """
+        if queue_seconds:  # 0.0 needs no check; NaN and negatives are truthy
+            queue_seconds = float(queue_seconds)
+            if not np.isfinite(queue_seconds) or queue_seconds < 0:
+                raise ValueError(
+                    f"queue_seconds must be finite and non-negative, got {queue_seconds}"
+                )
+        if not self.queue_aware:
+            return runtime_seconds
+        return float(runtime_seconds) + self.queue_weight * queue_seconds
 
 
 @dataclass(frozen=True)

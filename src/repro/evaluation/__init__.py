@@ -15,9 +15,13 @@ protocol once so every benchmark and example reuses it.
   definitions matching each of the paper's figures.
 * :mod:`~repro.evaluation.reporting` -- plain-text rendering of the series
   and tables the paper plots.
+* :mod:`~repro.evaluation.engine` -- the unified event-driven experiment
+  engine: one round/outcome ledger, one completion→observe path, one seeding
+  discipline, plus the replication and scenario-sweep process pools.
 * :mod:`~repro.evaluation.contention` -- contention-aware, cluster-in-the-loop
-  evaluation: multi-tenant workflow streams driven through the queued
-  event-engine path with queue-aware regret accounting.
+  evaluation: multi-tenant workflow streams (with priority/preemption
+  scheduling, autoscaling node pools and queue-aware bandit feedback) driven
+  through the engine with queue-aware regret accounting.
 """
 
 from repro.evaluation.metrics import (
@@ -39,6 +43,10 @@ from repro.evaluation.experiment import (
     ExperimentResult,
     build_experiment,
     run_experiment,
+)
+from repro.evaluation.engine import (
+    ExperimentEngine,
+    run_scenario_sweep,
 )
 from repro.evaluation.contention import (
     CONTENTION_SCENARIOS,
@@ -66,6 +74,8 @@ __all__ = [
     "build_scenario",
     "run_scenario",
     "run_synchronous",
+    "run_scenario_sweep",
+    "ExperimentEngine",
     "format_contention_report",
     "rmse",
     "mae",

@@ -127,7 +127,14 @@ def format_contention_report(result: "ContentionResult") -> str:
         rows, title=f"scenario {result.scenario_name!r}: {result.description}"
     )
     summary = format_summary(result.summary(), title="scenario summary")
-    return f"{table}\n\n{summary}"
+    report = f"{table}\n\n{summary}"
+    if result.scale_events:
+        kinds: Dict[str, int] = {}
+        for event in result.scale_events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        actions = ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds))
+        report += f"\nautoscaler: {actions}"
+    return report
 
 
 def format_histogram(

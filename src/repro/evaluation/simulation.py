@@ -18,9 +18,12 @@ streams; the figures plot the per-round mean and spread, against the
 
 Engine notes
 ------------
-The online loop itself is inherently sequential (each decision depends on the
-previous observation through both the models and the random stream), but
-everything around it is batched:
+This class is a thin frontend over the unified experiment engine
+(:mod:`repro.evaluation.engine`), which owns the round loop, the
+completion→observe path and the seeding discipline.  The online loop itself
+is inherently sequential (each decision depends on the previous observation
+through both the models and the random stream), but everything around it is
+batched:
 
 * per-round scoring is deferred -- each replication records the per-round
   coefficient matrices and scores **all** rounds against the evaluation set
@@ -28,15 +31,14 @@ everything around it is batched:
 * per-arm model refits are incremental (see
   :class:`~repro.core.models.LeastSquaresModel`);
 * replications are independent and can run in a process pool
-  (``SimulationConfig(n_workers=...)``).  Each replication is driven by its
-  own :class:`~numpy.random.SeedSequence` child, so the parallel path is
-  bit-identical to the serial one.
+  (``SimulationConfig(n_workers=...)`` via
+  :func:`~repro.evaluation.engine.run_replications`).  Each replication is
+  driven by its own :class:`~numpy.random.SeedSequence` child, so the
+  parallel path is bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -55,7 +57,6 @@ from repro.core.policies import (
 from repro.core.selection import ToleranceConfig
 from repro.dataframe import DataFrame
 from repro.hardware import HardwareCatalog, ResourceCostModel
-from repro.utils.rng import SeedLike, SeedSequencePool
 from repro.workloads.base import WorkloadModel
 
 __all__ = ["SimulationConfig", "SimulationResult", "OnlineSimulation"]
@@ -488,104 +489,26 @@ class OnlineSimulation:
     def _run_replication(self, seed_seq: np.random.SeedSequence) -> Tuple[np.ndarray, np.ndarray]:
         """Play one replication and return its per-round ``(rmse, accuracy)``.
 
-        The online loop runs sequentially (each decision feeds the next), but
-        scoring is deferred: the per-round coefficient matrices are recorded
-        (only the observed arm's row changes per round) and the whole series
-        is scored in one batched pass at the end.
+        The round loop lives in the unified engine
+        (:func:`~repro.evaluation.engine.run_online_replication`); this is a
+        convenience delegate kept for callers that drive replications
+        one at a time.
         """
-        cfg = self.config
-        rng = np.random.default_rng(seed_seq)
-        bandit = BanditWare(
-            catalog=self.catalog,
-            feature_names=self.feature_names,
-            policy=cfg.make_policy(),
-            arm_model_factory=cfg.make_arm_model_factory(),
-            seed=rng,
-            track_history=False,
-        )
-        models = bandit.models
-        n_arms = len(self.catalog)
-        n_pool = len(self._workflow_pool)
-        sample_from_frame = self.sample_from_frame
-        env_fast = self._env_fast
-        truth = self._truth
-        pool_sigma = self._pool_sigma
-        pool_contexts = self._pool_contexts
-        recommend = bandit.recommend_vector
-        observe = bandit.observe_vector
-        W_hist = np.zeros((cfg.n_rounds, n_arms, len(self.feature_names)))
-        b_hist = np.zeros((cfg.n_rounds, n_arms))
-        for round_idx in range(cfg.n_rounds):
-            if sample_from_frame:
-                pool_idx = int(rng.integers(n_pool))
-                context = pool_contexts[pool_idx]
-            else:
-                features = self.workload.sample_features(rng)
-                context = np.asarray(
-                    [
-                        (float(features[name]) - self._feature_mean[i]) / self._feature_std[i]
-                        for i, name in enumerate(self.feature_names)
-                    ]
-                )
-            recommendation = recommend(context)
-            arm = recommendation.decision.arm_index
-            if env_fast:
-                # Inlined WorkloadModel.observed_runtime on precomputed
-                # expectation/noise matrices (identical draws and clamping).
-                mean = truth[pool_idx, arm]
-                noise = pool_sigma[pool_idx, arm]
-                value = float(rng.normal(mean, noise)) if noise > 0 else mean
-                runtime = max(value, 0.01 * mean, 0.0)
-            else:
-                if sample_from_frame:
-                    features = self._workflow_pool[pool_idx]
-                runtime = self.workload.observed_runtime(features, recommendation.hardware, rng)
-            # Contexts come from the validated evaluation arrays (or the
-            # workload sampler) and runtimes from observed_runtime's clamp,
-            # so the engine skips per-round re-validation.
-            observe(context, arm, float(runtime), validate=False)
-            if round_idx:
-                W_hist[round_idx] = W_hist[round_idx - 1]
-                b_hist[round_idx] = b_hist[round_idx - 1]
-            W_hist[round_idx, arm] = models[arm].coefficients
-            b_hist[round_idx, arm] = models[arm].intercept
-        return self._score_series(W_hist, b_hist)
+        from repro.evaluation.engine import run_online_replication
 
-    def _run_parallel(
-        self, sequences: List[np.random.SeedSequence], n_workers: int
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Run the replications in a process pool (thread fallback).
-
-        Results are ordered like ``sequences``, so they are bit-identical to
-        the serial path regardless of scheduling.
-        """
-        try:
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_engine_worker_init,
-                initargs=(self,),
-            ) as executor:
-                return list(executor.map(_engine_worker_run, sequences))
-        except (OSError, PermissionError, ImportError, BrokenExecutor,
-                pickle.PicklingError, AttributeError, TypeError):
-            # Process pools can be unavailable (restricted sandboxes, exotic
-            # platforms) or the simulation unpicklable (custom workloads with
-            # closures on spawn-start platforms); threads preserve
-            # correctness, if not parallel speed.  A genuine bug inside
-            # _run_replication re-raises from the thread fallback.
-            with ThreadPoolExecutor(max_workers=n_workers) as executor:
-                return list(executor.map(self._run_replication, sequences))
+        return run_online_replication(self, seed_seq)
 
     def run(self) -> SimulationResult:
-        """Run all replications and return the collected series."""
+        """Run all replications (serial or pooled) and return the collected series.
+
+        The replication loop, its seeding discipline and the process-pool
+        plumbing are the engine's (:mod:`repro.evaluation.engine`); this
+        frontend contributes the scoring and the result container.
+        """
+        from repro.evaluation.engine import run_replications
+
         cfg = self.config
-        pool = SeedSequencePool(cfg.seed)
-        sequences = [pool.sequence(i) for i in range(cfg.n_simulations)]
-        n_workers = min(cfg.n_workers, cfg.n_simulations)
-        if n_workers > 1:
-            outcomes = self._run_parallel(sequences, n_workers)
-        else:
-            outcomes = [self._run_replication(seq) for seq in sequences]
+        outcomes = run_replications(self)
         rmse_series = np.vstack([rmse for rmse, _ in outcomes])
         accuracy_series = np.vstack([acc for _, acc in outcomes])
         reference_rmse, reference_accuracy = self._reference_scores()
@@ -597,19 +520,3 @@ class OnlineSimulation:
             random_accuracy=1.0 / len(self.catalog),
             config=cfg,
         )
-
-
-# --------------------------------------------------------------------- #
-# Process-pool plumbing.  The simulation object is shipped to each worker
-# once (via the initializer) instead of once per replication.
-_WORKER_SIMULATION: Optional[OnlineSimulation] = None
-
-
-def _engine_worker_init(simulation: OnlineSimulation) -> None:
-    global _WORKER_SIMULATION
-    _WORKER_SIMULATION = simulation
-
-
-def _engine_worker_run(seed_seq: np.random.SeedSequence) -> Tuple[np.ndarray, np.ndarray]:
-    assert _WORKER_SIMULATION is not None, "worker used before initialisation"
-    return _WORKER_SIMULATION._run_replication(seed_seq)

@@ -70,6 +70,27 @@ class ResourceCostModel:
             raise ValueError(f"seconds must be non-negative, got {seconds}")
         return self.footprint(config) * seconds
 
+    def node_footprint(self, cpus: int, memory_gb: float, gpus: int = 0) -> float:
+        """Scalar footprint of a whole node's capacity.
+
+        The same weights that price a pod's *allocation* price a node's
+        *provisioned capacity*, so autoscaling cost (paying for a node from
+        provision to drain, busy or idle) is directly comparable to the
+        occupancy cost of the work it carried.
+        """
+        return self.cpu_weight * cpus + self.memory_weight * memory_gb + self.gpu_weight * gpus
+
+    def node_occupancy_cost(self, cpus: int, memory_gb: float, seconds: float, gpus: int = 0) -> float:
+        """A node's capacity footprint integrated over its provisioned lifetime.
+
+        This is the autoscaler's cost hook: elastic capacity is charged for
+        the full provision-to-drain interval in the same resource-second
+        units as :meth:`occupancy_cost`.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return self.node_footprint(cpus, memory_gb, gpus) * seconds
+
     def most_efficient(self, candidates: Sequence[HardwareConfig]) -> HardwareConfig:
         """Return the candidate with the smallest footprint.
 

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.simulator import ClusterSimulator
 from repro.core.banditware import BanditWare, Recommendation
+from repro.core.rewards import RewardConfig
 from repro.core.selection import ToleranceConfig
 from repro.hardware import HardwareCatalog, HardwareConfig
 from repro.integration.ndp import ApplicationRegistry, RunHistoryStore
@@ -33,18 +34,25 @@ class WorkflowTicket:
         The workflow's context features.
     recommendation:
         BanditWare's recommendation for this workflow.
+    priority:
+        Priority class inherited from the application's registration; the
+        cluster's priority scheduler may use it for preemption.
     completed:
         Whether :meth:`RecommendationService.complete_workflow` has been called.
     observed_runtime:
         The runtime reported at completion, if any.
+    observed_queue_seconds:
+        The capacity-wait reported at completion, if any.
     """
 
     ticket_id: str
     application: str
     features: Dict[str, float]
     recommendation: Recommendation
+    priority: int = 0
     completed: bool = False
     observed_runtime: Optional[float] = None
+    observed_queue_seconds: Optional[float] = None
 
 
 class RecommendationService:
@@ -89,6 +97,7 @@ class RecommendationService:
         self._seed = seed
         self.log = log if log is not None else NullLog()
         self._recommenders: Dict[str, BanditWare] = {}
+        self._priorities: Dict[str, int] = {}
         self._tickets: Dict[str, WorkflowTicket] = {}
         self._ticket_counter = itertools.count(1)
 
@@ -102,6 +111,8 @@ class RecommendationService:
         warm_start_history: bool = True,
         catalog: Optional[HardwareCatalog] = None,
         tolerance: Optional[ToleranceConfig] = None,
+        reward: Optional[RewardConfig] = None,
+        priority: int = 0,
     ) -> BanditWare:
         """Register an application and create its recommender.
 
@@ -113,7 +124,10 @@ class RecommendationService:
         platform's hardware (different applications are eligible for
         different allocations on a shared cluster); ``tolerance`` overrides
         the service-wide tolerance for this application only.  Both default
-        to the service-level settings.
+        to the service-level settings.  ``reward`` selects the application's
+        observation shaping (e.g. the queue-aware ``queue_inclusive`` mode);
+        ``priority`` is the priority class stamped on the application's
+        workflow tickets for priority/preemption scheduling.
         """
         info = self.registry.register(name, owner, feature_names, description)
         recommender = BanditWare(
@@ -121,7 +135,9 @@ class RecommendationService:
             feature_names=list(info.feature_names),
             tolerance=tolerance if tolerance is not None else self.tolerance,
             seed=self._seed,
+            reward=reward,
         )
+        self._priorities[name] = int(priority)
         if warm_start_history and self.history.records_for(name):
             frame = self.history.frame_for(name)
             ingested = recommender.warm_start(frame)
@@ -138,6 +154,14 @@ class RecommendationService:
             )
         return self._recommenders[application]
 
+    def priority_for(self, application: str) -> int:
+        """The priority class of one registered application."""
+        if application not in self._priorities:
+            raise KeyError(
+                f"application {application!r} has no recommender; register it first"
+            )
+        return self._priorities[application]
+
     # ------------------------------------------------------------------ #
     def submit_workflow(self, application: str, features: Dict[str, float]) -> WorkflowTicket:
         """Ask for a hardware recommendation for one incoming workflow."""
@@ -148,6 +172,7 @@ class RecommendationService:
             application=application,
             features={k: float(v) for k, v in features.items()},
             recommendation=recommendation,
+            priority=self._priorities.get(application, 0),
         )
         self._tickets[ticket.ticket_id] = ticket
         self.log.record(
@@ -178,6 +203,7 @@ class RecommendationService:
                 application=application,
                 features={k: float(v) for k, v in features.items()},
                 recommendation=recommendation,
+                priority=self._priorities.get(application, 0),
             )
             self._tickets[ticket.ticket_id] = ticket
             tickets.append(ticket)
@@ -191,7 +217,12 @@ class RecommendationService:
         return tickets
 
     def complete_workflows(self, completions: Sequence[tuple]) -> None:
-        """Report many ``(ticket_id, runtime_seconds)`` completions at once.
+        """Report many completions at once.
+
+        Each entry is ``(ticket_id, runtime_seconds)`` or
+        ``(ticket_id, runtime_seconds, queue_seconds)`` -- the optional third
+        element reports the workflow's capacity wait for applications in the
+        queue-aware reward mode.
 
         Observations are fed to each application's recommender through
         :meth:`BanditWare.observe_batch` (one model refit per arm instead of
@@ -200,13 +231,16 @@ class RecommendationService:
         :meth:`complete_workflow` calls in the same order.
 
         The whole batch is validated -- tickets known, uncompleted and unique,
-        runtimes finite and non-negative -- before *any* recommender mutates,
-        so a rejected batch leaves every recommender and every ticket
-        untouched and can safely be retried after fixing the bad entry.
+        runtimes and queue delays finite and non-negative -- before *any*
+        recommender mutates, so a rejected batch leaves every recommender and
+        every ticket untouched and can safely be retried after fixing the bad
+        entry.
         """
         resolved = []
         seen = set()
-        for ticket_id, runtime_seconds in completions:
+        for entry in completions:
+            ticket_id, runtime_seconds = entry[0], entry[1]
+            queue_seconds = entry[2] if len(entry) > 2 else 0.0
             if ticket_id not in self._tickets:
                 raise KeyError(f"unknown ticket {ticket_id!r}")
             if ticket_id in seen:
@@ -221,20 +255,28 @@ class RecommendationService:
                     f"ticket {ticket_id!r} reports an invalid runtime {runtime_seconds!r}; "
                     "runtimes must be finite and non-negative"
                 )
-            resolved.append((ticket, runtime))
+            queue = float(queue_seconds)
+            if not math.isfinite(queue) or queue < 0:
+                raise ValueError(
+                    f"ticket {ticket_id!r} reports an invalid queue delay {queue_seconds!r}; "
+                    "queue delays must be finite and non-negative"
+                )
+            resolved.append((ticket, runtime, queue))
         by_application: Dict[str, List[tuple]] = {}
-        for ticket, runtime in resolved:
-            by_application.setdefault(ticket.application, []).append((ticket, runtime))
+        for ticket, runtime, queue in resolved:
+            by_application.setdefault(ticket.application, []).append((ticket, runtime, queue))
         for application, batch in by_application.items():
             recommender = self.recommender_for(application)
             recommender.observe_batch(
-                [ticket.features for ticket, _ in batch],
-                [ticket.recommendation.hardware for ticket, _ in batch],
-                [runtime for _, runtime in batch],
+                [ticket.features for ticket, _, _ in batch],
+                [ticket.recommendation.hardware for ticket, _, _ in batch],
+                [runtime for _, runtime, _ in batch],
+                queues_seconds=[queue for _, _, queue in batch],
             )
-        for ticket, runtime in resolved:
+        for ticket, runtime, queue in resolved:
             ticket.completed = True
             ticket.observed_runtime = runtime
+            ticket.observed_queue_seconds = queue
             self.history.add(
                 RunRecord(
                     run_id=ticket.ticket_id,
@@ -248,17 +290,30 @@ class RecommendationService:
             "service", "workflow_completed_batch", tickets=len(resolved)
         )
 
-    def complete_workflow(self, ticket_id: str, runtime_seconds: float) -> None:
-        """Report a workflow's observed runtime so the recommender can learn."""
+    def complete_workflow(
+        self, ticket_id: str, runtime_seconds: float, queue_seconds: float = 0.0
+    ) -> None:
+        """Report a workflow's observed runtime so the recommender can learn.
+
+        ``queue_seconds`` optionally reports the workflow's capacity wait;
+        it shapes the learning signal only for applications registered with
+        the queue-aware reward mode.
+        """
         if ticket_id not in self._tickets:
             raise KeyError(f"unknown ticket {ticket_id!r}")
         ticket = self._tickets[ticket_id]
         if ticket.completed:
             raise ValueError(f"ticket {ticket_id!r} was already completed")
         recommender = self.recommender_for(ticket.application)
-        recommender.observe(ticket.features, ticket.recommendation.hardware, runtime_seconds)
+        recommender.observe(
+            ticket.features,
+            ticket.recommendation.hardware,
+            runtime_seconds,
+            queue_seconds=queue_seconds,
+        )
         ticket.completed = True
         ticket.observed_runtime = float(runtime_seconds)
+        ticket.observed_queue_seconds = float(queue_seconds)
         self.history.add(
             RunRecord(
                 run_id=ticket.ticket_id,

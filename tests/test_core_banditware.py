@@ -279,3 +279,64 @@ class TestRewardsAndRegret:
         summary = ledger.summary()
         assert summary["accuracy"] == 1.0
         assert summary["cumulative_regret"] == 0.0
+
+
+class TestQueueAwareObservations:
+    """Opt-in queue-inclusive reward shaping of BanditWare's learning signal."""
+
+    def _bandit(self, reward=None):
+        from repro.core import GreedyPolicy, RewardConfig  # noqa: F401
+
+        return BanditWare(
+            catalog=ndp_catalog(),
+            feature_names=["x"],
+            policy=GreedyPolicy(),
+            seed=0,
+            reward=reward,
+        )
+
+    def test_default_mode_ignores_queue_seconds(self):
+        from repro.core import RewardConfig
+
+        plain = self._bandit()
+        queued = self._bandit(reward=RewardConfig())
+        for bandit in (plain, queued):
+            bandit.observe({"x": 1.0}, "H0", 10.0, queue_seconds=500.0)
+            bandit.observe({"x": 2.0}, "H0", 20.0, queue_seconds=500.0)
+        assert plain.model_for("H0").predict(np.asarray([3.0])) == pytest.approx(
+            queued.model_for("H0").predict(np.asarray([3.0]))
+        )
+        # Training target is the raw runtime: x=3 extrapolates to 30.
+        assert plain.model_for("H0").predict(np.asarray([3.0])) == pytest.approx(30.0)
+
+    def test_queue_inclusive_mode_inflates_training_target(self):
+        from repro.core import RewardConfig
+
+        bandit = self._bandit(reward=RewardConfig(mode="queue_inclusive", queue_weight=1.0))
+        bandit.observe({"x": 1.0}, "H0", 10.0, queue_seconds=5.0)
+        bandit.observe({"x": 2.0}, "H0", 20.0, queue_seconds=10.0)
+        # Targets were 15 and 30, i.e. effective runtime = 15x.
+        assert bandit.model_for("H0").predict(np.asarray([3.0])) == pytest.approx(45.0)
+        # The history keeps the raw decomposition.
+        assert [rec.queue_seconds for rec in bandit.history] == [5.0, 10.0]
+        assert [rec.runtime_seconds for rec in bandit.history] == [10.0, 20.0]
+
+    def test_observe_batch_accepts_queue_delays(self):
+        from repro.core import RewardConfig
+
+        batched = self._bandit(reward=RewardConfig(mode="queue_inclusive"))
+        batched.observe_batch(
+            [{"x": 1.0}, {"x": 2.0}], ["H0", "H0"], [10.0, 20.0], queues_seconds=[5.0, 10.0]
+        )
+        sequential = self._bandit(reward=RewardConfig(mode="queue_inclusive"))
+        sequential.observe({"x": 1.0}, "H0", 10.0, queue_seconds=5.0)
+        sequential.observe({"x": 2.0}, "H0", 20.0, queue_seconds=10.0)
+        x = np.asarray([4.0])
+        assert batched.model_for("H0").predict(x) == pytest.approx(
+            sequential.model_for("H0").predict(x)
+        )
+
+    def test_observe_batch_queue_length_mismatch(self):
+        bandit = self._bandit()
+        with pytest.raises(ValueError, match="queue delays"):
+            bandit.observe_batch([{"x": 1.0}], ["H0"], [10.0], queues_seconds=[1.0, 2.0])

@@ -20,7 +20,15 @@ EXAMPLES = [
     "matmul_hardware_selection.py",
     "cluster_simulation.py",
     "contention_scenarios.py",
+    "autoscale_priority.py",
 ]
+
+
+def test_autoscale_priority_example_shows_improvement(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "autoscale_priority.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "queue-aware rewards reduce queue-inclusive regret: True" in output
+    assert "preempted workflows" in output
 
 
 def test_contention_example_parity_line(capsys):

@@ -214,3 +214,80 @@ class TestRecommendationService:
             picks.append(ticket.recommendation.hardware.name)
         late_picks = picks[-30:]
         assert late_picks.count("H1") / len(late_picks) > 0.7
+
+
+class TestQueueAwareServiceCompletions:
+    """Queue delays and priority classes flow through the service layer."""
+
+    def _service(self, **register_kwargs):
+        from repro.hardware import ndp_catalog
+
+        service = RecommendationService(catalog=ndp_catalog(), seed=0)
+        service.register_application(
+            "app", "alice", ["x"], warm_start_history=False, **register_kwargs
+        )
+        return service
+
+    def test_priority_stamped_on_tickets(self):
+        service = self._service(priority=7)
+        ticket = service.submit_workflow("app", {"x": 1.0})
+        assert ticket.priority == 7
+        assert service.priority_for("app") == 7
+
+    def test_priority_for_unknown_application(self):
+        service = self._service()
+        with pytest.raises(KeyError):
+            service.priority_for("ghost")
+
+    def test_complete_workflow_records_queue_seconds(self):
+        service = self._service()
+        ticket = service.submit_workflow("app", {"x": 1.0})
+        service.complete_workflow(ticket.ticket_id, 12.0, queue_seconds=3.0)
+        assert service.ticket(ticket.ticket_id).observed_queue_seconds == 3.0
+
+    def test_complete_workflows_accepts_triples(self):
+        service = self._service()
+        first = service.submit_workflow("app", {"x": 1.0})
+        second = service.submit_workflow("app", {"x": 2.0})
+        service.complete_workflows(
+            [(first.ticket_id, 10.0, 4.0), (second.ticket_id, 20.0)]
+        )
+        assert service.ticket(first.ticket_id).observed_queue_seconds == 4.0
+        assert service.ticket(second.ticket_id).observed_queue_seconds == 0.0
+
+    def test_invalid_queue_delay_rejects_whole_batch(self):
+        service = self._service()
+        good = service.submit_workflow("app", {"x": 1.0})
+        bad = service.submit_workflow("app", {"x": 2.0})
+        with pytest.raises(ValueError, match="queue delay"):
+            service.complete_workflows(
+                [(good.ticket_id, 10.0, 0.0), (bad.ticket_id, 20.0, -1.0)]
+            )
+        # Pre-flight validation: nothing was committed, retry succeeds.
+        assert not service.ticket(good.ticket_id).completed
+        service.complete_workflows(
+            [(good.ticket_id, 10.0, 0.0), (bad.ticket_id, 20.0, 1.0)]
+        )
+        assert service.ticket(bad.ticket_id).completed
+
+    def test_queue_aware_application_learns_from_delay(self):
+        from repro.core import RewardConfig
+
+        service = self._service(
+            reward=RewardConfig(mode="queue_inclusive", queue_weight=1.0)
+        )
+        first = service.submit_workflow("app", {"x": 1.0})
+        second = service.submit_workflow("app", {"x": 2.0})
+        hardware = first.recommendation.hardware.name
+        # Force both observations onto the first ticket's arm via triples.
+        service.complete_workflows(
+            [(first.ticket_id, 10.0, 5.0), (second.ticket_id, 20.0, 10.0)]
+        )
+        recommender = service.recommender_for("app")
+        arm_model = recommender.model_for(hardware)
+        if second.recommendation.hardware.name == hardware:
+            # Both landed on one arm: effective runtime is 15x.
+            assert arm_model.predict(np.asarray([3.0])) == pytest.approx(45.0)
+        else:
+            # Single observation pins the intercept-free fit at 15x.
+            assert arm_model.predict(np.asarray([1.0])) == pytest.approx(15.0)
