@@ -1,12 +1,18 @@
 """Benchmark the vectorised evaluation engine against the seed implementation.
 
-Two benchmarks live here:
+Three benchmarks live here:
 
 * ``run_bench`` -- the PR 1 engine benchmark (``BENCH_eval.json``);
 * ``run_contention_bench`` -- the contention-suite benchmark
   (``BENCH_contention.json``): every registered scenario is played through
   the unified event-driven engine, timed per run, and the queue-aware
   headline numbers are recorded, plus the process-pool sweep throughput.
+* ``run_interference_bench`` -- the interference-suite benchmark
+  (``BENCH_interference.json``): each interference scenario is timed under
+  its configured model *and* under the null model (same streams, full
+  speed), recording the slowdown statistics, the progress-engine event
+  overhead, and an exact NoInterference-parity check against the
+  fixed-finish reference numbers.
 
 The engine benchmark measures wall-clock rounds/second of the replicated
 BP3D online simulation (50 rounds x 10 replications by default) under three
@@ -65,6 +71,7 @@ from repro.utils.validation import check_feature_matrix
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_eval.json"
 DEFAULT_CONTENTION_OUTPUT = REPO_ROOT / "BENCH_contention.json"
+DEFAULT_INTERFERENCE_OUTPUT = REPO_ROOT / "BENCH_interference.json"
 
 
 class _SeedOLS(ArmModel):
@@ -341,6 +348,69 @@ def run_contention_bench(
     return report
 
 
+def run_interference_bench(
+    repeats: int = 3,
+    output: Optional[os.PathLike] = DEFAULT_INTERFERENCE_OUTPUT,
+) -> Dict:
+    """Time the interference suite and pin the NoInterference parity.
+
+    Per interference scenario: best-of-``repeats`` wall clock under the
+    configured model and under the null counterfactual (identical tenants,
+    streams and seeds -- the difference is pure progress-engine overhead
+    plus the stretched schedule), with the seed-0 slowdown headline numbers.
+    The report also re-runs the ``saturated`` scenario and asserts its
+    decision stream and headline regret are *exactly* the fixed-finish
+    engine's reference values, so CI can fail the suite on any NoInterference
+    drift without re-running the whole test battery.
+    """
+    from repro.evaluation.contention import build_scenario, run_scenario
+
+    pin = json.loads(
+        (Path(__file__).resolve().parent / "interference_parity_reference.json").read_text()
+    )
+    reference = pin["summary"]
+    parity = run_scenario(build_scenario(pin["scenario"], seed=pin["seed"])).summary()
+    parity_exact = all(parity[key] == value for key, value in reference.items())
+
+    scenarios: Dict[str, Dict] = {}
+    for name in ("interference-light", "interference-heavy", "noisy-neighbor"):
+        contended = run_scenario(build_scenario(name, seed=0)).summary()
+        seconds = _time_best(lambda: run_scenario(build_scenario(name, seed=0)), repeats)
+        null_seconds = _time_best(
+            lambda: run_scenario(build_scenario(name, seed=0).with_interference(None)),
+            repeats,
+        )
+        scenarios[name] = {
+            "seconds_per_run": seconds,
+            "seconds_per_run_null_model": null_seconds,
+            "workflows": contended["workflows"],
+            "mean_slowdown": contended["mean_slowdown"],
+            "max_slowdown": contended["max_slowdown"],
+            "interference_seconds": contended["interference_seconds"],
+            "interference_inclusive_regret": contended["interference_inclusive_regret"],
+            "cumulative_regret": contended["cumulative_regret"],
+            "makespan_seconds": contended["makespan_seconds"],
+            "accuracy": contended["accuracy"],
+        }
+    report = {
+        "benchmark": "interference_suite",
+        "cpu_count": os.cpu_count(),
+        "scenarios": scenarios,
+        "no_interference_parity_exact": parity_exact,
+        "no_interference_reference": reference,
+        "no_interference_observed": {key: parity[key] for key in reference},
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    if not parity_exact:
+        raise AssertionError(
+            "NoInterference parity drift: the progress-based engine no longer "
+            f"reproduces the fixed-finish reference exactly ({report['no_interference_observed']} "
+            f"!= {reference})"
+        )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=50)
@@ -354,8 +424,13 @@ def main(argv=None) -> int:
         help="where the contention-suite report lands",
     )
     parser.add_argument(
+        "--interference-output",
+        default=str(DEFAULT_INTERFERENCE_OUTPUT),
+        help="where the interference-suite report lands",
+    )
+    parser.add_argument(
         "--suite",
-        choices=["engine", "contention", "all"],
+        choices=["engine", "contention", "interference", "all"],
         default="all",
         help="which benchmark(s) to run",
     )
@@ -377,6 +452,13 @@ def main(argv=None) -> int:
                 n_workers=args.workers,
                 repeats=args.repeats,
                 output=args.contention_output,
+            )
+        )
+    if args.suite in ("interference", "all"):
+        reports.append(
+            run_interference_bench(
+                repeats=args.repeats,
+                output=args.interference_output,
             )
         )
     for report in reports:

@@ -1,0 +1,77 @@
+"""Interference study: the bandit under noisy neighbours vs zero contention.
+
+The paper's datasets record each run executing *alone*, but co-located
+tenants on a shared node compete for caches and memory bandwidth that
+resource requests do not reserve.  The progress-based cluster engine models
+this with pluggable interference models
+(:mod:`repro.cluster.interference`): each pod advances at a rate set by its
+co-residency, so the runtime the platform -- and the bandit -- observes is
+the *inflated* one, not the contention-free draw.
+
+This example contrasts three settings built from identical tenant streams:
+
+* **zero-contention** -- the paper's protocol: every run alone, observed
+  runtime equals the drawn ground truth bit for bit;
+* **interference-heavy** -- six concurrent workflows packed onto one shared
+  node under a strong linear slowdown: every observation is inflated and
+  the interference-inclusive regret column charges the gap;
+* **noisy-neighbor** -- a latency-sensitive tenant sharing a node with a
+  greedy neighbour under per-resource capacity contention: how much the
+  victim suffers depends on which arms the neighbour's bandit grabs.
+
+Run with::
+
+    python examples/interference_study.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import build_scenario, format_contention_report, run_scenario
+
+
+def main() -> None:
+    print("interference study (seed=0)\n")
+
+    # The same heavy scenario with the interference model switched off is
+    # the zero-contention counterfactual: identical tenants, streams and
+    # seeds, so any difference is purely co-residency slowdown.
+    heavy = build_scenario("interference-heavy", seed=0)
+    contended = run_scenario(heavy)
+    alone = run_scenario(heavy.with_interference(None))
+
+    header = (
+        f"{'setting':<18} {'mean slowdown':>13} {'max':>6} {'makespan':>10} "
+        f"{'regret':>9} {'i-regret':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, result in (("zero-contention", alone), ("interference-heavy", contended)):
+        summary = result.summary()
+        print(
+            f"{label:<18} {summary['mean_slowdown']:>12.3f}x "
+            f"{summary['max_slowdown']:>5.2f}x {summary['makespan_seconds']:>9.0f}s "
+            f"{summary['cumulative_regret']:>8.0f}s "
+            f"{summary['interference_inclusive_regret']:>8.0f}s"
+        )
+
+    inflated = contended.summary()["mean_slowdown"] > alone.summary()["mean_slowdown"]
+    print(f"\nco-residency inflates observed runtimes: {inflated}")
+    print(
+        "the bandit learns from the inflated observations -- its per-arm "
+        "models fit what\nthe shared cluster actually delivered, not the "
+        "contention-free plan.\n"
+    )
+
+    noisy = run_scenario(build_scenario("noisy-neighbor", seed=0))
+    print(format_contention_report(noisy))
+
+    victim_rows = [row for row in noisy.rows if row["tenant"] == "latency-sensitive"]
+    slowed = sum(1 for row in victim_rows if row["slowdown"] > 1.0)
+    print(
+        f"\nnoisy neighbour: {slowed}/{len(victim_rows)} victim workflows ran "
+        "slower than their contention-free plan"
+    )
+
+
+if __name__ == "__main__":
+    main()

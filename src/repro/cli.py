@@ -123,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the seed sweep (scenarios fan out over a pool)",
     )
+    contention.add_argument(
+        "--interference",
+        default=None,
+        metavar="MODEL",
+        help=(
+            "override the scenario's interference model: 'none', "
+            "'linear[:ALPHA]' (slowdown per unit of co-resident utilisation) "
+            "or 'capacity[:CPU_FRACTION]' (usable CPU fraction under sharing)"
+        ),
+    )
 
     gen = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to a directory")
     gen.add_argument("dataset", choices=sorted(_DATASET_BUILDERS))
@@ -148,6 +158,36 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--tolerance-seconds", type=float, default=0.0)
     rec.add_argument("--seed", type=int, default=0)
     return parser
+
+
+#: Sentinel: the user did not pass --interference (None means "no model").
+_KEEP_SCENARIO_INTERFERENCE = object()
+
+
+def _parse_interference(spec: Optional[str]):
+    """Parse an ``--interference`` override into a model (or the sentinel)."""
+    from repro.cluster import CapacityContention, LinearSlowdown
+
+    if spec is None:
+        return _KEEP_SCENARIO_INTERFERENCE
+    name, _, param = spec.partition(":")
+    try:
+        if name == "none":
+            return None
+        if name == "linear":
+            return LinearSlowdown(alpha=float(param)) if param else LinearSlowdown()
+        if name == "capacity":
+            return (
+                CapacityContention(cpu_fraction=float(param))
+                if param
+                else CapacityContention()
+            )
+    except ValueError as exc:
+        raise SystemExit(f"invalid interference parameter in {spec!r}: {exc}") from exc
+    raise SystemExit(
+        f"unknown interference model {spec!r}; choose 'none', 'linear[:ALPHA]' "
+        "or 'capacity[:CPU_FRACTION]'"
+    )
 
 
 def _parse_feature_args(pairs: Sequence[str]) -> Dict[str, float]:
@@ -188,11 +228,19 @@ def _cmd_run_experiment(args, out) -> int:
 
 
 def _cmd_run_contention(args, out) -> int:
+    interference = _parse_interference(args.interference)
+
+    def _build(seed: int):
+        scenario = build_scenario(args.scenario, seed=seed)
+        if interference is not _KEEP_SCENARIO_INTERFERENCE:
+            scenario = scenario.with_interference(interference)
+        return scenario
+
     if args.sweep_seeds > 0:
         from repro.evaluation import run_scenario_sweep
 
         seeds = range(args.seed, args.seed + args.sweep_seeds)
-        scenarios = [build_scenario(args.scenario, seed=seed) for seed in seeds]
+        scenarios = [_build(seed) for seed in seeds]
         results = run_scenario_sweep(scenarios, n_workers=max(args.workers, 1))
         rows = []
         for seed, result in zip(seeds, results):
@@ -202,6 +250,7 @@ def _cmd_run_contention(args, out) -> int:
                     "seed": seed,
                     "workflows": int(summary["workflows"]),
                     "queue_s": summary["total_queue_seconds"],
+                    "slowdown": summary["mean_slowdown"],
                     "occupancy": summary["occupancy_cost"],
                     "wasted": summary["wasted_occupancy_cost"],
                     "pool_cost": summary["node_pool_cost"],
@@ -221,10 +270,12 @@ def _cmd_run_contention(args, out) -> int:
             file=out,
         )
         return 0
-    scenario = build_scenario(args.scenario, seed=args.seed)
+    scenario = _build(args.seed)
+    model = type(scenario.interference).__name__ if scenario.interference else "none"
     print(
         f"running contention scenario {scenario.name!r} "
-        f"({len(scenario.tenants)} tenants, {len(scenario.nodes)} nodes, seed={args.seed})",
+        f"({len(scenario.tenants)} tenants, {len(scenario.nodes)} nodes, "
+        f"interference={model}, seed={args.seed})",
         file=out,
     )
     result = run_scenario(scenario)

@@ -20,13 +20,25 @@ Components:
   capacity.
 * :mod:`~repro.cluster.autoscaler` -- :class:`AutoscalingNodePool`, an
   elastic node pool with provisioning delay and idle-node drain.
+* :mod:`~repro.cluster.interference` -- pluggable interference models
+  (:class:`NoInterference`, :class:`LinearSlowdown`,
+  :class:`CapacityContention`): co-located pods slow each other's progress
+  rate down.
 * :mod:`~repro.cluster.simulator` -- :class:`ClusterSimulator`, which ties the
   pieces together and exposes the ``submit → run → observe runtime`` loop the
-  online recommender drives.
+  online recommender drives.  Execution is progress-based: pods advance at
+  the interference model's rate and tentative finish events are rescheduled
+  on every topology change.
 """
 
 from repro.cluster.autoscaler import AutoscalingNodePool, ScaleEvent
 from repro.cluster.events import Event, EventQueue
+from repro.cluster.interference import (
+    CapacityContention,
+    InterferenceModel,
+    LinearSlowdown,
+    NoInterference,
+)
 from repro.cluster.node import Node, InsufficientCapacityError
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import (
@@ -42,6 +54,10 @@ from repro.cluster.simulator import ClusterSimulator, CompletedRun
 __all__ = [
     "Event",
     "EventQueue",
+    "InterferenceModel",
+    "NoInterference",
+    "LinearSlowdown",
+    "CapacityContention",
     "Node",
     "InsufficientCapacityError",
     "Pod",

@@ -1,0 +1,167 @@
+"""Pluggable interference models: co-located pods slow each other down.
+
+The paper's datasets record each run executing *alone* on its hardware, but a
+shared cluster rarely grants that luxury: co-resident tenants compete for the
+caches, memory bandwidth and I/O paths that resource *requests* do not
+reserve.  This module describes that contention as a **progress rate**: a pod
+holding a node with co-residents advances its work at ``speed`` work-seconds
+per wall-clock second, where ``speed`` is 1.0 alone and drops as neighbours
+pile on.
+
+The :class:`~repro.cluster.simulator.ClusterSimulator` consults the model on
+every topology change (pod start/finish, preemption, autoscale provision or
+drain), re-integrates each running pod's progress at its previous rate, and
+reschedules its tentative finish event at the new rate -- see the simulator's
+progress-based execution engine.  Models therefore only need to answer one
+pure question: *given this pod, this node, and these co-residents, how fast
+does the pod run right now?*
+
+Invariants every model must satisfy (validated by the simulator):
+
+* ``0 < speed <= 1`` -- interference can only slow a pod down;
+* a pod running **alone** must report ``speed == 1.0`` exactly, so
+  contention-free executions reproduce the paper's per-run runtimes
+  bit-for-bit (this is what keeps the zero-contention parity suite exact
+  even under non-null models).
+
+All models are frozen dataclasses, so scenarios embedding them stay
+picklable and sweep-able over process pools.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+
+__all__ = [
+    "InterferenceModel",
+    "NoInterference",
+    "LinearSlowdown",
+    "CapacityContention",
+]
+
+
+def _co_resident_utilisation(node: Node, co_residents: Sequence[Pod]) -> float:
+    """The co-residents' bottleneck utilisation fraction of ``node``.
+
+    The fraction of each resource dimension allocated to the *other* pods on
+    the node, taking the maximum across dimensions (GPU only when the node
+    has GPUs): the most contended shared resource is the one that hurts.
+    """
+    if not co_residents:
+        return 0.0
+    cpus = sum(p.request.cpus for p in co_residents) / node.cpus
+    memory = sum(p.request.memory_gb for p in co_residents) / node.memory_gb
+    fractions = [cpus, memory]
+    if node.gpus:
+        fractions.append(sum(p.request.gpus for p in co_residents) / node.gpus)
+    return max(fractions)
+
+
+class InterferenceModel(abc.ABC):
+    """How co-located pods perturb each other's progress rate."""
+
+    @abc.abstractmethod
+    def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
+        """Progress rate of ``pod`` on ``node`` given its ``co_residents``.
+
+        Returns work-seconds completed per wall-clock second, in ``(0, 1]``.
+        ``co_residents`` are the *other* pods currently running on ``node``
+        (never includes ``pod`` itself).  Must return exactly ``1.0`` when
+        ``co_residents`` is empty.
+        """
+
+
+@dataclass(frozen=True)
+class NoInterference(InterferenceModel):
+    """Co-located pods do not perturb each other (the pre-interference engine).
+
+    Every pod always runs at full speed, so observed runtimes equal the
+    drawn ground truth bit-for-bit -- the parity suite pins this.
+    """
+
+    def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LinearSlowdown(InterferenceModel):
+    """Slowdown growing linearly with co-resident utilisation.
+
+    ``speed = 1 / (1 + alpha * u)`` where ``u`` is the co-residents'
+    bottleneck utilisation fraction of the node (their allocated share of
+    the most contended resource dimension).  ``alpha`` is the slowdown per
+    unit of neighbour utilisation: with ``alpha=0.5`` a pod sharing a node
+    whose other tenants fill 80% of it runs at ``1/1.4 ~ 71%`` speed.
+
+    This is the classic linear interference fit used for co-located
+    batch workloads: cheap, monotone, and exact in the solo case.
+    """
+
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+
+    def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
+        return 1.0 / (1.0 + self.alpha * _co_resident_utilisation(node, co_residents))
+
+
+@dataclass(frozen=True)
+class CapacityContention(InterferenceModel):
+    """Per-resource contention: shared capacity delivers less than nominal.
+
+    Resource *requests* reserve cores and bytes, but the shared paths behind
+    them (last-level cache, memory bandwidth, NIC) do not scale to the full
+    nominal capacity once multiple tenants run side by side.  This model
+    says each resource dimension of a **shared** node only sustains a
+    ``usable_fraction`` of its nominal capacity: when the residents'
+    combined allocation of resource ``r`` exceeds
+    ``usable_fraction_r * capacity_r``, every resident is throttled by the
+    ratio, and a pod's speed is the factor of its most-contended resource::
+
+        speed = min over r of min(1, usable_r / allocated_r)
+
+    A pod running alone gets the whole machine (no sharing, no throttle), so
+    solo executions stay exact.
+
+    Parameters
+    ----------
+    cpu_fraction, memory_fraction, gpu_fraction:
+        Usable fraction of each dimension's nominal capacity under sharing,
+        in ``(0, 1]``.  The defaults model CPU as the contended path
+        (caches/bandwidth) while memory capacity and GPUs partition cleanly.
+    """
+
+    cpu_fraction: float = 0.75
+    memory_fraction: float = 1.0
+    gpu_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_fraction", "memory_fraction", "gpu_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+    def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
+        if not co_residents:
+            return 1.0
+        residents = [pod, *co_residents]
+        factors = []
+        for capacity, fraction, total in (
+            (node.cpus, self.cpu_fraction, sum(p.request.cpus for p in residents)),
+            (
+                node.memory_gb,
+                self.memory_fraction,
+                sum(p.request.memory_gb for p in residents),
+            ),
+            (node.gpus, self.gpu_fraction, sum(p.request.gpus for p in residents)),
+        ):
+            if capacity and total:
+                factors.append(min(1.0, (fraction * capacity) / total))
+        return min(factors) if factors else 1.0

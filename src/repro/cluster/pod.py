@@ -52,6 +52,22 @@ class Pod:
         Run time lost to preemptions: the work is checkpoint-free, so every
         eviction discards the partial execution and the pod restarts from
         scratch.
+    work_seconds:
+        Ground-truth contention-free runtime of the workload, drawn **once
+        at submission** (stable across preemption restarts, so observed
+        runtimes cannot depend on scheduling order).
+    progress_seconds:
+        Work completed so far in the current attempt; reaches
+        :attr:`work_seconds` at completion.  Progress advances at
+        :attr:`speed` work-seconds per wall second and is re-integrated by
+        the simulator whenever the pod's node topology changes.
+    speed:
+        Current progress rate from the cluster's interference model
+        (``None`` until the current attempt's rate is first computed).
+    observed_runtime_seconds:
+        Wall-clock execution time of the successful attempt -- the runtime
+        the platform *observes*.  Equals :attr:`work_seconds` without
+        interference; inflated when co-residents slowed the pod down.
     """
 
     name: str
@@ -66,7 +82,21 @@ class Pod:
     phase: PodPhase = PodPhase.PENDING
     preemptions: int = 0
     wasted_runtime_seconds: float = 0.0
+    work_seconds: Optional[float] = None
+    progress_seconds: float = 0.0
+    speed: Optional[float] = None
+    observed_runtime_seconds: Optional[float] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: wall seconds of the current attempt accumulated at re-integration
+    #: points (progress-rate changes); the remainder to the tentative finish
+    #: is carried separately so an uninterrupted run reports its drawn
+    #: runtime exactly (no ``finish - start`` bit loss on a large clock)
+    _running_wall_seconds: float = field(default=0.0, repr=False)
+    #: simulation time progress was last integrated to (None while pending)
+    _progress_updated_at: Optional[float] = field(default=None, repr=False)
+    #: ``(time, speed)`` changepoints of the current attempt; the work
+    #: conservation property test integrates this piecewise-constant rate
+    progress_log: list = field(default_factory=list, repr=False)
     #: accumulated time spent waiting for capacity (all pending stretches)
     _waited_seconds: float = field(default=0.0, repr=False)
     #: when the current pending stretch began (None while running/terminal)
@@ -89,6 +119,11 @@ class Pod:
         self.start_time = float(time)
         self.node = node
         self.phase = PodPhase.RUNNING
+        self.progress_seconds = 0.0
+        self.speed = None
+        self._running_wall_seconds = 0.0
+        self._progress_updated_at = float(time)
+        self.progress_log = []
 
     def mark_preempted(self, time: float) -> None:
         """Evict a running pod back to the pending queue (checkpoint-free).
@@ -105,12 +140,67 @@ class Pod:
         self.node = None
         self._queued_since = float(time)
         self.phase = PodPhase.PENDING
+        # Checkpoint-free restart: the attempt's partial progress is lost.
+        self.progress_seconds = 0.0
+        self.speed = None
+        self._running_wall_seconds = 0.0
+        self._progress_updated_at = None
+        self.progress_log = []
 
     def mark_finished(self, time: float, succeeded: bool = True) -> None:
         if self.phase is not PodPhase.RUNNING:
             raise RuntimeError(f"pod {self.name!r} cannot finish from phase {self.phase}")
         self.finish_time = float(time)
         self.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
+
+    # ------------------------------------------------------------------ #
+    # Progress-based execution (driven by the cluster simulator)
+    # ------------------------------------------------------------------ #
+    def set_speed(self, time: float, new_speed: float) -> None:
+        """Integrate progress up to ``time`` at the current rate, then switch.
+
+        The progress rate is piecewise constant between topology changes, so
+        integrating lazily -- only when the rate actually changes -- is
+        exact.  The first call of an attempt (``speed is None``) merely
+        records the initial rate.
+        """
+        time = float(time)
+        if self.phase is not PodPhase.RUNNING:
+            raise RuntimeError(f"pod {self.name!r} is not running; cannot set a progress rate")
+        if self.speed is not None:
+            since = self._progress_updated_at if self._progress_updated_at is not None else time
+            elapsed = time - since
+            self.progress_seconds += elapsed * self.speed
+            self._running_wall_seconds += elapsed
+        self._progress_updated_at = time
+        self.speed = float(new_speed)
+        self.progress_log.append((time, float(new_speed)))
+
+    def remaining_wall_seconds(self) -> float:
+        """Wall-clock seconds to completion at the current rate."""
+        if self.work_seconds is None or self.speed is None:
+            raise RuntimeError(f"pod {self.name!r} has no work/rate; was it started?")
+        return max(self.work_seconds - self.progress_seconds, 0.0) / self.speed
+
+    def complete_progress(self, remaining_wall: float) -> float:
+        """Close out the attempt's progress and return the observed runtime.
+
+        ``remaining_wall`` is the wall time from the last integration point
+        to the finish instant, *as scheduled* -- carrying it explicitly
+        (rather than re-deriving ``finish - last_update``) keeps the
+        uninterrupted case bit-exact: zero accumulated wall plus a remainder
+        of ``work_seconds`` reports the drawn runtime verbatim.
+        """
+        self.progress_seconds = float(self.work_seconds or 0.0)
+        self.observed_runtime_seconds = self._running_wall_seconds + float(remaining_wall)
+        return self.observed_runtime_seconds
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """Observed over contention-free runtime (>= 1 under interference)."""
+        if self.observed_runtime_seconds is None or not self.work_seconds:
+            return None
+        return self.observed_runtime_seconds / self.work_seconds
 
     # ------------------------------------------------------------------ #
     @property
@@ -151,5 +241,8 @@ class Pod:
             "runtime_seconds": self.runtime_seconds,
             "preemptions": self.preemptions,
             "wasted_runtime_seconds": self.wasted_runtime_seconds,
+            "work_seconds": self.work_seconds,
+            "observed_runtime_seconds": self.observed_runtime_seconds,
+            "slowdown": self.slowdown,
             **{f"feature_{k}": v for k, v in self.features.items()},
         }

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cluster.autoscaler import AutoscalerState, AutoscalingNodePool, ScaleEvent
 from repro.cluster.events import EventQueue
+from repro.cluster.interference import InterferenceModel, NoInterference
 from repro.cluster.node import InsufficientCapacityError, Node
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import FIFOScheduler, Scheduler
@@ -65,6 +66,11 @@ class CompletedRun:
         How many times the pod was evicted and requeued before completing.
     wasted_runtime_seconds:
         Run time discarded by those evictions (checkpoint-free restarts).
+    planned_runtime_seconds:
+        The run's contention-free ground-truth runtime (the noisy draw made
+        at submission).  The record's ``runtime_seconds`` is what the
+        platform *observed* -- equal to the plan without interference,
+        inflated when co-residents slowed the pod down.
     """
 
     record: RunRecord
@@ -74,6 +80,14 @@ class CompletedRun:
     finish_time: float = 0.0
     preemptions: int = 0
     wasted_runtime_seconds: float = 0.0
+    planned_runtime_seconds: Optional[float] = None
+
+    @property
+    def slowdown(self) -> float:
+        """Observed over planned runtime (1.0 exactly without interference)."""
+        if not self.planned_runtime_seconds:
+            return 1.0
+        return self.record.runtime_seconds / self.planned_runtime_seconds
 
 
 def _default_nodes() -> List[Node]:
@@ -108,6 +122,21 @@ class ClusterSimulator:
         description.  When given, pods that cannot be placed trigger
         scale-up requests (new nodes join after the pool's provisioning
         delay, via events in the main queue) and idle pool nodes are drained.
+    interference:
+        How co-located pods perturb each other's progress rate (see
+        :mod:`repro.cluster.interference`).  Defaults to
+        :class:`~repro.cluster.interference.NoInterference`, under which the
+        progress-based engine is bit-identical to fixed finish times.
+
+    Execution is **progress-based**: each pod carries ``work_seconds``
+    (drawn once at submission) and advances at the rate the interference
+    model reports for its current co-residency.  Every topology change --
+    pod start, finish, preemption, autoscale provision or drain -- lazily
+    re-integrates affected pods' progress at the old rate and reschedules
+    their *tentative* finish events at the new one (stale events are
+    invalidated by an epoch stamp).  A pod whose rate never changed keeps
+    its original event, so the default model reproduces the fixed-finish
+    engine's event stream exactly.
     """
 
     def __init__(
@@ -119,6 +148,7 @@ class ClusterSimulator:
         seed: SeedLike = None,
         log: Optional[EventLog] = None,
         autoscaler: Optional[AutoscalingNodePool] = None,
+        interference: Optional[InterferenceModel] = None,
     ):
         self.workload = workload
         self.catalog = catalog
@@ -126,12 +156,19 @@ class ClusterSimulator:
         if not self.nodes:
             raise ValueError("the cluster requires at least one node")
         self.scheduler = scheduler or FIFOScheduler()
+        self.interference = interference if interference is not None else NoInterference()
         self._rng = as_generator(seed)
         self.log = log if log is not None else NullLog()
         self._events = EventQueue()
         self._pending: List[Pod] = []
         self._pods: Dict[str, Pod] = {}
         self._pod_workloads: Dict[str, WorkloadModel] = {}
+        # Busy-time integrals per node ([cpu, memory, gpu] resource-seconds)
+        # and each node's activation time, for lifetime-prorated utilisation.
+        self._busy_seconds: Dict[str, List[float]] = {}
+        self._busy_since: Dict[str, float] = {n.name: 0.0 for n in self.nodes}
+        self._active_since: Dict[str, float] = {n.name: 0.0 for n in self.nodes}
+        self._busy_clock = 0.0  # clock value the integrals are current at
         # Feasibility verdicts per hardware name.  They are judged against
         # node *total* capacity, so the answers only change when the node set
         # itself changes -- which only the autoscaler does, and every
@@ -240,7 +277,11 @@ class ClusterSimulator:
             features=dict(features),
         )
         run = CompletedRun(
-            record=record, queue_seconds=0.0, node=node.name, finish_time=self.now
+            record=record,
+            queue_seconds=0.0,
+            node=node.name,
+            finish_time=self.now,
+            planned_runtime_seconds=runtime,
         )
         self._completed.append(run)
         self.log.record(
@@ -299,6 +340,11 @@ class ClusterSimulator:
             application=workload.name,
             priority=int(priority),
         )
+        # Draw the ground-truth runtime ONCE, at submission.  Drawing at
+        # start time (the old engine) made observed runtimes depend on
+        # scheduling order -- and a preempted pod re-drew noise from the
+        # shared RNG on restart, breaking replication determinism.
+        pod.work_seconds = workload.observed_runtime(features, config, self._rng)
         submit_time = self.now if at_time is None else float(at_time)
         self._events.push(submit_time, "pod_submitted", pod_name=name)
         self._pods[name] = pod
@@ -314,18 +360,16 @@ class ClusterSimulator:
         }
 
     def _start_pod(self, pod: Pod, node_name: str, reason: str) -> None:
-        """Transition a placed pod to running and schedule its completion."""
+        """Transition a placed pod to running and (re)schedule the node's finishes.
+
+        Starting a pod changes its node's co-residency, so every resident's
+        progress rate -- the new pod's included -- is re-evaluated.
+        """
         pod.mark_running(self.now, node_name)
         if self._autoscaler is not None:
             self._autoscaler.idle_since.pop(node_name, None)
-        workload = self._pod_workloads.get(pod.name, self.workload)
-        runtime = workload.observed_runtime(pod.features, pod.request, self._rng)
-        pod.metadata["planned_runtime"] = runtime
-        # Tag the completion with the attempt number: a preemption bumps the
-        # pod's attempt, turning any in-flight completion event stale.
-        self._events.push_in(
-            runtime, "pod_finished", pod_name=pod.name, attempt=pod.metadata.get("attempt", 0)
-        )
+        node = next(n for n in self.nodes if n.name == node_name)
+        self._reschedule_node(node)
         self.log.record(
             "scheduler",
             "pod_scheduled",
@@ -334,6 +378,47 @@ class ClusterSimulator:
             node=node_name,
             reason=reason,
         )
+
+    def _reschedule_node(self, node: Node) -> None:
+        """Re-integrate progress and reschedule tentative finishes on ``node``.
+
+        Called on every topology change touching the node.  Each resident's
+        rate is recomputed from the interference model; a pod whose rate is
+        unchanged keeps its scheduled finish event (progress integration is
+        lazy -- the rate is piecewise constant between changes, so deferring
+        the integral to the next change is exact, and skipping the reschedule
+        keeps the event stream of :class:`NoInterference` runs identical to
+        the fixed-finish engine's).  Finish events are tagged with the pod's
+        attempt (stale after preemption) and a per-reschedule epoch (stale
+        after a rate change).
+        """
+        residents = [self._pods[name] for name in node.allocations]
+        for pod in residents:
+            others = [p for p in residents if p is not pod]
+            speed = float(self.interference.speed(pod, node, others))
+            if not 0.0 < speed <= 1.0:
+                raise ValueError(
+                    f"interference model {type(self.interference).__name__} returned "
+                    f"progress rate {speed!r} for pod {pod.name!r}; rates must be in (0, 1]"
+                )
+            if not others and speed != 1.0:
+                raise ValueError(
+                    f"interference model {type(self.interference).__name__} slowed a "
+                    f"pod running alone (rate {speed!r}); solo pods must run at 1.0"
+                )
+            if pod.speed == speed:
+                continue
+            pod.set_speed(self.now, speed)
+            remaining = pod.remaining_wall_seconds()
+            pod.metadata["finish_epoch"] = pod.metadata.get("finish_epoch", 0) + 1
+            pod.metadata["pending_remaining"] = remaining
+            self._events.push_in(
+                remaining,
+                "pod_finished",
+                pod_name=pod.name,
+                attempt=pod.metadata.get("attempt", 0),
+                epoch=pod.metadata["finish_epoch"],
+            )
 
     def _preempt_victims(self, plan) -> List[Pod]:
         """Evict the plan's victims (checkpoint-free) and return them."""
@@ -353,6 +438,9 @@ class ClusterSimulator:
                 node=plan.node_name,
                 preempted_by=plan.pod_name,
             )
+        # The evictions changed the node's co-residency: surviving residents
+        # may speed up (the preemptor's own placement reschedules again).
+        self._reschedule_node(node)
         return victims
 
     def _try_schedule_pending(self) -> None:
@@ -470,6 +558,8 @@ class ClusterSimulator:
         name = event.payload["node_name"]
         self.nodes.append(state.pool.template_node(name))
         self._feasibility.clear()
+        self._busy_since[name] = float(event.time)
+        self._active_since[name] = float(event.time)
         state.in_flight -= 1
         state.alive += 1
         state.provisioned_at[name] = float(event.time)
@@ -506,6 +596,9 @@ class ClusterSimulator:
             return
         self.nodes.remove(node)
         self._feasibility.clear()
+        self._busy_since.pop(name, None)
+        self._busy_seconds.pop(name, None)
+        self._active_since.pop(name, None)
         state.alive -= 1
         state.idle_since.pop(name, None)
         started = state.provisioned_at.pop(name)
@@ -513,7 +606,29 @@ class ClusterSimulator:
         state.events.append(ScaleEvent(float(event.time), "node_drained", name))
         self.log.record("autoscaler", "node_drained", time=event.time, node=name)
 
+    def _integrate_busy(self) -> None:
+        """Accumulate each node's allocated resource-seconds up to ``now``.
+
+        Allocations only change at event instants, so integrating before any
+        mutation (and at query time) with the pre-change amounts is exact.
+        Later events at the *same* instant contribute zero elapsed time, so
+        the node loop runs once per distinct timestamp, not once per event.
+        """
+        if self.now == self._busy_clock:
+            return
+        for node in self.nodes:
+            last = self._busy_since.get(node.name, self.now)
+            dt = self.now - last
+            if dt > 0:
+                acc = self._busy_seconds.setdefault(node.name, [0.0, 0.0, 0.0])
+                acc[0] += dt * node.allocated_cpus
+                acc[1] += dt * node.allocated_memory_gb
+                acc[2] += dt * node.allocated_gpus
+            self._busy_since[node.name] = self.now
+        self._busy_clock = self.now
+
     def _handle_event(self, event) -> None:
+        self._integrate_busy()
         if event.kind == "pod_submitted":
             pod = self._pods[event.payload["pod_name"]]
             pod.mark_submitted(event.time)
@@ -523,14 +638,17 @@ class ClusterSimulator:
             pod = self._pods[event.payload["pod_name"]]
             if event.payload.get("attempt", 0) != pod.metadata.get("attempt", 0):
                 return  # stale completion: the pod was preempted mid-run
+            if event.payload.get("epoch", 0) != pod.metadata.get("finish_epoch", 0):
+                return  # superseded tentative finish: the pod's rate changed
             node = next(n for n in self.nodes if n.name == pod.node)
             node.release(pod.name)
             pod.mark_finished(event.time, succeeded=True)
             workload = self._pod_workloads.get(pod.name, self.workload)
-            # Report the planned (drawn) runtime, not finish - start: the
-            # subtraction loses low-order bits once the clock is large, and
-            # observations must match the synchronous path bit-for-bit.
-            runtime = float(pod.metadata.get("planned_runtime", pod.runtime_seconds or 0.0))
+            # Close out progress with the *scheduled* remainder rather than
+            # finish - start: the subtraction loses low-order bits once the
+            # clock is large, and an uninterfered run must report the drawn
+            # runtime bit-for-bit (matching the synchronous path).
+            runtime = pod.complete_progress(pod.metadata.get("pending_remaining", 0.0))
             record = RunRecord(
                 run_id=f"{workload.name}-run-{next(self._run_counter):06d}",
                 application=workload.name,
@@ -547,6 +665,7 @@ class ClusterSimulator:
                     finish_time=float(event.time),
                     preemptions=pod.preemptions,
                     wasted_runtime_seconds=pod.wasted_runtime_seconds,
+                    planned_runtime_seconds=pod.work_seconds,
                 )
             )
             self.log.record(
@@ -554,8 +673,11 @@ class ClusterSimulator:
                 "pod_finished",
                 time=event.time,
                 pod=pod.name,
-                runtime=pod.runtime_seconds,
+                runtime=runtime,
             )
+            # The departure freed capacity: surviving residents speed up
+            # before the pending queue competes for the room.
+            self._reschedule_node(node)
             if not node.allocations:
                 self._mark_node_idle(node.name, float(event.time))
             self._try_schedule_pending()
@@ -641,5 +763,29 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------------ #
     def utilisation(self) -> Dict[str, Dict[str, float]]:
-        """Per-node utilisation snapshot."""
-        return {node.name: node.utilisation() for node in self.nodes}
+        """Per-node utilisation: instantaneous shares plus busy fractions.
+
+        The ``cpus``/``memory_gb``/``gpus`` keys are the node's current
+        allocated fractions (as before).  The ``busy_*`` keys are the
+        fraction of the node's capacity-time that was actually allocated,
+        prorated over the node's *active window*: base nodes have existed
+        since time 0, but an autoscaled pool node is only accountable from
+        its provision time (its :meth:`pool_node_lifetimes` window) --
+        dividing by the full simulation duration would under-report a
+        mid-run node's busy fraction.
+        """
+        self._integrate_busy()
+        report: Dict[str, Dict[str, float]] = {}
+        for node in self.nodes:
+            stats = node.utilisation()
+            window = self.now - self._active_since.get(node.name, 0.0)
+            busy = self._busy_seconds.get(node.name, [0.0, 0.0, 0.0])
+            stats["busy_cpus"] = busy[0] / (node.cpus * window) if window > 0 else 0.0
+            stats["busy_memory_gb"] = (
+                busy[1] / (node.memory_gb * window) if window > 0 else 0.0
+            )
+            stats["busy_gpus"] = (
+                busy[2] / (node.gpus * window) if window > 0 and node.gpus else 0.0
+            )
+            report[node.name] = stats
+        return report

@@ -16,7 +16,12 @@ Two regret notions are tracked:
   spent queueing for capacity.  On a shared cluster the bandit's arm choices
   change queueing delay for everyone (over-allocation starves co-tenants),
   so the contention-aware evaluation charges waiting time as regret against
-  the contention-free oracle.
+  the contention-free oracle; and
+* **interference-inclusive regret** -- runtime regret plus the seconds
+  co-located tenants added to the observed runtime over the contention-free
+  plan (the observed-vs-planned gap the progress-based cluster engine
+  accounts).  The oracle runs each workflow alone, so slowdown inflicted by
+  noisy neighbours is regret too.
 """
 
 from __future__ import annotations
@@ -110,6 +115,13 @@ class RoundOutcome:
     ``queue_seconds`` is the time the round's workflow waited for cluster
     capacity before starting; it defaults to 0 for the contention-free
     synchronous loop, so existing callers are unaffected.
+
+    ``planned_runtime`` is the workflow's contention-free ground-truth
+    runtime (the draw the cluster made at submission).  The observed runtime
+    equals it without interference; when co-located tenants slowed the run
+    down, the gap is the round's :attr:`interference_seconds`.  ``None``
+    (the default) means the execution substrate does not distinguish the
+    two, which keeps every pre-interference caller unaffected.
     """
 
     round_index: int
@@ -120,10 +132,15 @@ class RoundOutcome:
     expected_runtime_on_chosen: float
     explored: bool
     queue_seconds: float = 0.0
+    planned_runtime: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.queue_seconds < 0:
             raise ValueError(f"queue_seconds must be non-negative, got {self.queue_seconds}")
+        if self.planned_runtime is not None and self.planned_runtime < 0:
+            raise ValueError(
+                f"planned_runtime must be non-negative, got {self.planned_runtime}"
+            )
 
     @property
     def runtime_regret(self) -> float:
@@ -139,6 +156,34 @@ class RoundOutcome:
         on top of the expected-runtime gap.
         """
         return self.runtime_regret + self.queue_seconds
+
+    @property
+    def interference_seconds(self) -> float:
+        """Observed seconds added by co-located tenants over the planned run.
+
+        Zero when the substrate reports no plan (contention-free loops) and
+        exactly zero under the null interference model, whose observed
+        runtimes equal the plan bit-for-bit.
+        """
+        if self.planned_runtime is None:
+            return 0.0
+        return max(self.observed_runtime - self.planned_runtime, 0.0)
+
+    @property
+    def slowdown(self) -> float:
+        """Observed over planned runtime (1.0 without interference)."""
+        if not self.planned_runtime:
+            return 1.0
+        return self.observed_runtime / self.planned_runtime
+
+    @property
+    def interference_inclusive_regret(self) -> float:
+        """Runtime regret plus the slowdown inflicted by co-residents.
+
+        The oracle runs each workflow alone at full speed, so observed
+        inflation over the contention-free plan is charged as regret.
+        """
+        return self.runtime_regret + self.interference_seconds
 
     @property
     def correct(self) -> bool:
@@ -180,9 +225,25 @@ class RegretLedger:
             return np.empty(0)
         return np.cumsum([r.queue_inclusive_regret for r in self._rounds])
 
+    def cumulative_interference_inclusive_regret(self) -> np.ndarray:
+        """Cumulative interference-inclusive regret (runtime regret + slowdown)."""
+        if not self._rounds:
+            return np.empty(0)
+        return np.cumsum([r.interference_inclusive_regret for r in self._rounds])
+
     def total_queue_seconds(self) -> float:
         """Sum of queueing delay across all rounds (seconds)."""
         return float(sum(r.queue_seconds for r in self._rounds))
+
+    def total_interference_seconds(self) -> float:
+        """Sum of co-residency-inflicted runtime inflation across rounds."""
+        return float(sum(r.interference_seconds for r in self._rounds))
+
+    def mean_slowdown(self) -> float:
+        """Mean observed/planned runtime ratio across rounds (1.0 when empty)."""
+        if not self._rounds:
+            return 1.0
+        return float(np.mean([r.slowdown for r in self._rounds]))
 
     def accuracy_curve(self, window: Optional[int] = None) -> np.ndarray:
         """Fraction of correct hardware choices, cumulatively or over a trailing window."""
@@ -217,7 +278,10 @@ class RegretLedger:
                 "accuracy": 0.0,
                 "cumulative_regret": 0.0,
                 "queue_inclusive_regret": 0.0,
+                "interference_inclusive_regret": 0.0,
                 "total_queue_seconds": 0.0,
+                "total_interference_seconds": 0.0,
+                "mean_slowdown": 1.0,
                 "exploration_fraction": 0.0,
                 "total_runtime": 0.0,
             }
@@ -226,7 +290,12 @@ class RegretLedger:
             "accuracy": float(self.accuracy_curve()[-1]),
             "cumulative_regret": float(self.cumulative_runtime_regret()[-1]),
             "queue_inclusive_regret": float(self.cumulative_queue_inclusive_regret()[-1]),
+            "interference_inclusive_regret": float(
+                self.cumulative_interference_inclusive_regret()[-1]
+            ),
             "total_queue_seconds": self.total_queue_seconds(),
+            "total_interference_seconds": self.total_interference_seconds(),
+            "mean_slowdown": self.mean_slowdown(),
             "exploration_fraction": self.exploration_fraction(),
             "total_runtime": self.total_observed_runtime(),
         }

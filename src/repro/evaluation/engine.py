@@ -173,6 +173,15 @@ class ContentionResult:
             for ledger in ledgers
             if len(ledger)
         )
+        interference_regret = sum(
+            float(ledger.cumulative_interference_inclusive_regret()[-1])
+            for ledger in ledgers
+            if len(ledger)
+        )
+        interference_seconds = sum(
+            ledger.total_interference_seconds() for ledger in ledgers
+        )
+        slowdowns = [float(row.get("slowdown", 1.0)) for row in self.rows]
         preemptions = sum(int(row.get("preemptions", 0)) for row in self.rows)
         return {
             "workflows": float(total_rounds),
@@ -188,6 +197,10 @@ class ContentionResult:
             "preemptions": float(preemptions),
             "cumulative_regret": regret,
             "queue_inclusive_regret": queue_regret,
+            "interference_inclusive_regret": interference_regret,
+            "interference_seconds": float(interference_seconds),
+            "mean_slowdown": float(np.mean(slowdowns)) if slowdowns else 1.0,
+            "max_slowdown": float(np.max(slowdowns)) if slowdowns else 1.0,
             "accuracy": (correct / total_rounds) if total_rounds else 0.0,
         }
 
@@ -325,6 +338,7 @@ class ScenarioAccountant:
             expected_runtime_on_chosen=table[run.record.hardware],
             explored=explored,
             queue_seconds=run.queue_seconds,
+            planned_runtime=run.planned_runtime_seconds,
         )
         state.outcome.ledger.record(outcome)
         state.outcome.runtimes.append(run.record.runtime_seconds)
@@ -344,6 +358,12 @@ class ScenarioAccountant:
                 "priority": spec.priority,
                 "queue_seconds": run.queue_seconds,
                 "runtime_seconds": run.record.runtime_seconds,
+                "planned_seconds": (
+                    run.planned_runtime_seconds
+                    if run.planned_runtime_seconds is not None
+                    else run.record.runtime_seconds
+                ),
+                "slowdown": run.slowdown,
                 "occupancy_cost": occupancy,
                 "preemptions": run.preemptions,
                 "wasted_seconds": run.wasted_runtime_seconds,
@@ -352,6 +372,7 @@ class ScenarioAccountant:
                 "correct": outcome.correct,
                 "runtime_regret": outcome.runtime_regret,
                 "queue_inclusive_regret": outcome.queue_inclusive_regret,
+                "interference_seconds": outcome.interference_seconds,
             }
         )
         return outcome
@@ -391,6 +412,7 @@ class ExperimentEngine:
             seed=self.scenario.seed,
             log=self.log,
             autoscaler=self.scenario.autoscaler,
+            interference=self.scenario.interference,
         )
 
     def _node_pool_cost(self, cluster: ClusterSimulator) -> float:
@@ -455,14 +477,19 @@ class ExperimentEngine:
             if not runs:
                 return
             # One batch per event-drain: observations reach each recommender
-            # via observe_batch in completion-event order, queue delays
-            # riding along for the queue-aware reward mode.
+            # via observe_batch in completion-event order.  The runtime is
+            # the *observed* (interference-inflated) one -- the bandit learns
+            # from what actually happened on the shared cluster, exactly as
+            # the paper's loop learns from measured runtimes.  Queue delays
+            # ride along for the queue-aware reward mode, and the
+            # observed/planned slowdown for the ticket's audit trail.
             service.complete_workflows(
                 [
                     (
                         in_flight[run.pod_name].ticket.ticket_id,
                         run.record.runtime_seconds,
                         run.queue_seconds,
+                        run.slowdown,
                     )
                     for run in runs
                 ]

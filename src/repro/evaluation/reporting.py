@@ -119,6 +119,7 @@ def format_contention_report(result: "ContentionResult") -> str:
                 "accuracy": summary["accuracy"],
                 "explore": summary["exploration_fraction"],
                 "queue_s": summary["total_queue_seconds"],
+                "slowdown": summary["mean_slowdown"],
                 "regret_s": summary["cumulative_regret"],
                 "q_regret_s": summary["queue_inclusive_regret"],
             }
@@ -126,8 +127,17 @@ def format_contention_report(result: "ContentionResult") -> str:
     table = format_metric_table(
         rows, title=f"scenario {result.scenario_name!r}: {result.description}"
     )
-    summary = format_summary(result.summary(), title="scenario summary")
+    scenario_summary = result.summary()
+    summary = format_summary(scenario_summary, title="scenario summary")
     report = f"{table}\n\n{summary}"
+    if scenario_summary.get("interference_seconds", 0.0) > 0.0:
+        report += (
+            "\ninterference: mean slowdown "
+            f"{scenario_summary['mean_slowdown']:.3f}x, "
+            f"max {scenario_summary['max_slowdown']:.3f}x, "
+            f"co-residents added {scenario_summary['interference_seconds']:.1f}s "
+            "over the contention-free plan"
+        )
     if result.scale_events:
         kinds: Dict[str, int] = {}
         for event in result.scale_events:

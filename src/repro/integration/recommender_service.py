@@ -43,6 +43,10 @@ class WorkflowTicket:
         The runtime reported at completion, if any.
     observed_queue_seconds:
         The capacity-wait reported at completion, if any.
+    observed_slowdown:
+        Observed/planned runtime ratio reported at completion, if the
+        execution substrate measures interference (1.0 = the run was not
+        perturbed by co-located tenants).
     """
 
     ticket_id: str
@@ -53,6 +57,7 @@ class WorkflowTicket:
     completed: bool = False
     observed_runtime: Optional[float] = None
     observed_queue_seconds: Optional[float] = None
+    observed_slowdown: Optional[float] = None
 
 
 class RecommendationService:
@@ -219,10 +224,14 @@ class RecommendationService:
     def complete_workflows(self, completions: Sequence[tuple]) -> None:
         """Report many completions at once.
 
-        Each entry is ``(ticket_id, runtime_seconds)`` or
-        ``(ticket_id, runtime_seconds, queue_seconds)`` -- the optional third
-        element reports the workflow's capacity wait for applications in the
-        queue-aware reward mode.
+        Each entry is ``(ticket_id, runtime_seconds)``,
+        ``(ticket_id, runtime_seconds, queue_seconds)`` or
+        ``(ticket_id, runtime_seconds, queue_seconds, slowdown)`` -- the
+        optional third element reports the workflow's capacity wait for
+        applications in the queue-aware reward mode; the optional fourth is
+        the observed/planned runtime ratio an interference-aware cluster
+        measured (audit trail only -- the recommender already learns the
+        inflation through the observed runtime itself).
 
         Observations are fed to each application's recommender through
         :meth:`BanditWare.observe_batch` (one model refit per arm instead of
@@ -231,16 +240,17 @@ class RecommendationService:
         :meth:`complete_workflow` calls in the same order.
 
         The whole batch is validated -- tickets known, uncompleted and unique,
-        runtimes and queue delays finite and non-negative -- before *any*
-        recommender mutates, so a rejected batch leaves every recommender and
-        every ticket untouched and can safely be retried after fixing the bad
-        entry.
+        runtimes and queue delays finite and non-negative, slowdowns finite
+        and positive -- before *any* recommender mutates, so a rejected batch
+        leaves every recommender and every ticket untouched and can safely be
+        retried after fixing the bad entry.
         """
         resolved = []
         seen = set()
         for entry in completions:
             ticket_id, runtime_seconds = entry[0], entry[1]
             queue_seconds = entry[2] if len(entry) > 2 else 0.0
+            slowdown = entry[3] if len(entry) > 3 else None
             if ticket_id not in self._tickets:
                 raise KeyError(f"unknown ticket {ticket_id!r}")
             if ticket_id in seen:
@@ -261,9 +271,16 @@ class RecommendationService:
                     f"ticket {ticket_id!r} reports an invalid queue delay {queue_seconds!r}; "
                     "queue delays must be finite and non-negative"
                 )
-            resolved.append((ticket, runtime, queue))
+            if slowdown is not None:
+                slowdown = float(slowdown)
+                if not math.isfinite(slowdown) or slowdown <= 0:
+                    raise ValueError(
+                        f"ticket {ticket_id!r} reports an invalid slowdown {slowdown!r}; "
+                        "slowdowns must be finite and positive"
+                    )
+            resolved.append((ticket, runtime, queue, slowdown))
         by_application: Dict[str, List[tuple]] = {}
-        for ticket, runtime, queue in resolved:
+        for ticket, runtime, queue, slowdown in resolved:
             by_application.setdefault(ticket.application, []).append((ticket, runtime, queue))
         for application, batch in by_application.items():
             recommender = self.recommender_for(application)
@@ -273,10 +290,11 @@ class RecommendationService:
                 [runtime for _, runtime, _ in batch],
                 queues_seconds=[queue for _, _, queue in batch],
             )
-        for ticket, runtime, queue in resolved:
+        for ticket, runtime, queue, slowdown in resolved:
             ticket.completed = True
             ticket.observed_runtime = runtime
             ticket.observed_queue_seconds = queue
+            ticket.observed_slowdown = slowdown
             self.history.add(
                 RunRecord(
                     run_id=ticket.ticket_id,
@@ -291,13 +309,19 @@ class RecommendationService:
         )
 
     def complete_workflow(
-        self, ticket_id: str, runtime_seconds: float, queue_seconds: float = 0.0
+        self,
+        ticket_id: str,
+        runtime_seconds: float,
+        queue_seconds: float = 0.0,
+        slowdown: Optional[float] = None,
     ) -> None:
         """Report a workflow's observed runtime so the recommender can learn.
 
         ``queue_seconds`` optionally reports the workflow's capacity wait;
         it shapes the learning signal only for applications registered with
-        the queue-aware reward mode.
+        the queue-aware reward mode.  ``slowdown`` optionally reports the
+        observed/planned runtime ratio measured by an interference-aware
+        cluster (recorded on the ticket for auditing).
         """
         if ticket_id not in self._tickets:
             raise KeyError(f"unknown ticket {ticket_id!r}")
@@ -314,6 +338,7 @@ class RecommendationService:
         ticket.completed = True
         ticket.observed_runtime = float(runtime_seconds)
         ticket.observed_queue_seconds = float(queue_seconds)
+        ticket.observed_slowdown = float(slowdown) if slowdown is not None else None
         self.history.add(
             RunRecord(
                 run_id=ticket.ticket_id,

@@ -21,7 +21,15 @@ EXAMPLES = [
     "cluster_simulation.py",
     "contention_scenarios.py",
     "autoscale_priority.py",
+    "interference_study.py",
 ]
+
+
+def test_interference_study_shows_inflation(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "interference_study.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "co-residency inflates observed runtimes: True" in output
+    assert "victim workflows ran" in output
 
 
 def test_autoscale_priority_example_shows_improvement(capsys):

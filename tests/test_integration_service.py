@@ -270,6 +270,40 @@ class TestQueueAwareServiceCompletions:
         )
         assert service.ticket(bad.ticket_id).completed
 
+    def test_complete_workflows_accepts_slowdown_quadruples(self):
+        service = self._service()
+        first = service.submit_workflow("app", {"x": 1.0})
+        second = service.submit_workflow("app", {"x": 2.0})
+        service.complete_workflows(
+            [(first.ticket_id, 15.0, 4.0, 1.5), (second.ticket_id, 20.0, 0.0)]
+        )
+        assert service.ticket(first.ticket_id).observed_slowdown == 1.5
+        assert service.ticket(second.ticket_id).observed_slowdown is None
+
+    def test_complete_workflow_records_slowdown(self):
+        service = self._service()
+        ticket = service.submit_workflow("app", {"x": 1.0})
+        service.complete_workflow(ticket.ticket_id, 12.0, queue_seconds=3.0, slowdown=1.2)
+        assert service.ticket(ticket.ticket_id).observed_slowdown == 1.2
+
+    def test_invalid_slowdown_rejects_whole_batch(self):
+        service = self._service()
+        good = service.submit_workflow("app", {"x": 1.0})
+        bad = service.submit_workflow("app", {"x": 2.0})
+        with pytest.raises(ValueError, match="slowdown"):
+            service.complete_workflows(
+                [(good.ticket_id, 10.0, 0.0, 1.0), (bad.ticket_id, 20.0, 0.0, 0.0)]
+            )
+        assert not service.ticket(good.ticket_id).completed
+        with pytest.raises(ValueError, match="slowdown"):
+            service.complete_workflows(
+                [(bad.ticket_id, 20.0, 0.0, float("nan"))]
+            )
+        service.complete_workflows(
+            [(good.ticket_id, 10.0, 0.0, 1.0), (bad.ticket_id, 20.0, 0.0, 1.1)]
+        )
+        assert service.ticket(bad.ticket_id).observed_slowdown == 1.1
+
     def test_queue_aware_application_learns_from_delay(self):
         from repro.core import RewardConfig
 
