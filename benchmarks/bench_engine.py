@@ -13,6 +13,14 @@ Three benchmarks live here:
   speed), recording the slowdown statistics, the progress-engine event
   overhead, and an exact NoInterference-parity check against the
   fixed-finish reference numbers.
+* ``run_placement_bench`` -- the placement-suite benchmark
+  (``BENCH_placement.json``): the interference scenarios are replayed under
+  each placement policy (first-fit, best-fit, spread, pack,
+  least-slowdown) across several seeds, recording per-policy slowdown and
+  makespan plus an exact FirstFit-parity check of every registered scenario
+  against the pre-refactor reference summaries.  It asserts the headline
+  result: ``LeastSlowdown`` cuts mean slowdown strictly below ``Pack`` on
+  ``interference-heavy`` for every benchmarked seed.
 
 The engine benchmark measures wall-clock rounds/second of the replicated
 BP3D online simulation (50 rounds x 10 replications by default) under three
@@ -72,6 +80,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_eval.json"
 DEFAULT_CONTENTION_OUTPUT = REPO_ROOT / "BENCH_contention.json"
 DEFAULT_INTERFERENCE_OUTPUT = REPO_ROOT / "BENCH_interference.json"
+DEFAULT_PLACEMENT_OUTPUT = REPO_ROOT / "BENCH_placement.json"
 
 
 class _SeedOLS(ArmModel):
@@ -411,6 +420,100 @@ def run_interference_bench(
     return report
 
 
+def run_placement_bench(
+    seeds: int = 3,
+    repeats: int = 3,
+    output: Optional[os.PathLike] = DEFAULT_PLACEMENT_OUTPUT,
+) -> Dict:
+    """Benchmark placement policies and pin the FirstFit parity.
+
+    Two guarantees are asserted (CI runs this suite in smoke mode):
+
+    * **FirstFit parity** -- every registered scenario's seed-0 summary
+      matches the pre-placement-refactor reference values in
+      ``placement_parity_reference.json`` exactly (the refactor decoupled
+      ordering from placement without changing the default behaviour);
+    * **interference-aware placement pays** -- on ``interference-heavy``,
+      ``LeastSlowdown`` achieves strictly lower mean slowdown than ``Pack``
+      for *every* benchmarked seed.
+    """
+    from repro.evaluation.contention import build_scenario, run_scenario
+
+    pin = json.loads(
+        (Path(__file__).resolve().parent / "placement_parity_reference.json").read_text()
+    )
+    parity_drift: Dict[str, Dict] = {}
+    for scenario_name, reference in pin["scenarios"].items():
+        summary = run_scenario(build_scenario(scenario_name, seed=pin["seed"])).summary()
+        drift = {
+            key: {"reference": value, "observed": summary[key]}
+            for key, value in reference.items()
+            if summary[key] != value
+        }
+        if drift:
+            parity_drift[scenario_name] = drift
+    parity_exact = not parity_drift
+
+    policies = ["first-fit", "best-fit", "spread", "pack", "least-slowdown"]
+    comparison_scenarios = ["interference-heavy", "spread-vs-pack", "hetero-nodes"]
+    scenarios: Dict[str, Dict] = {}
+    for scenario_name in comparison_scenarios:
+        per_policy: Dict[str, Dict] = {}
+        for policy in policies:
+            slowdowns: List[float] = []
+            makespans: List[float] = []
+            regrets: List[float] = []
+            for seed in range(seeds):
+                scenario = build_scenario(scenario_name, seed=seed).with_placement(policy)
+                summary = run_scenario(scenario).summary()
+                slowdowns.append(summary["mean_slowdown"])
+                makespans.append(summary["makespan_seconds"])
+                regrets.append(summary["interference_inclusive_regret"])
+            bench_scenario = build_scenario(scenario_name, seed=0).with_placement(policy)
+            seconds = _time_best(lambda: run_scenario(bench_scenario), repeats)
+            per_policy[policy] = {
+                "seconds_per_run": seconds,
+                "mean_slowdown_per_seed": slowdowns,
+                "mean_slowdown": float(np.mean(slowdowns)),
+                "makespan_seconds_mean": float(np.mean(makespans)),
+                "interference_inclusive_regret_mean": float(np.mean(regrets)),
+            }
+        scenarios[scenario_name] = per_policy
+
+    heavy = scenarios["interference-heavy"]
+    least_beats_pack = all(
+        ls < pk
+        for ls, pk in zip(
+            heavy["least-slowdown"]["mean_slowdown_per_seed"],
+            heavy["pack"]["mean_slowdown_per_seed"],
+        )
+    )
+    report = {
+        "benchmark": "placement_suite",
+        "cpu_count": os.cpu_count(),
+        "seeds": seeds,
+        "policies": policies,
+        "scenarios": scenarios,
+        "first_fit_parity_exact": parity_exact,
+        "first_fit_parity_drift": parity_drift,
+        "least_slowdown_beats_pack_on_interference_heavy": least_beats_pack,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    if not parity_exact:
+        raise AssertionError(
+            "FirstFit placement parity drift: the decoupled placement engine no "
+            f"longer reproduces the pre-refactor reference exactly ({parity_drift})"
+        )
+    if not least_beats_pack:
+        raise AssertionError(
+            "LeastSlowdown no longer beats Pack on interference-heavy: "
+            f"{heavy['least-slowdown']['mean_slowdown_per_seed']} vs "
+            f"{heavy['pack']['mean_slowdown_per_seed']}"
+        )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=50)
@@ -429,8 +532,19 @@ def main(argv=None) -> int:
         help="where the interference-suite report lands",
     )
     parser.add_argument(
+        "--placement-output",
+        default=str(DEFAULT_PLACEMENT_OUTPUT),
+        help="where the placement-suite report lands",
+    )
+    parser.add_argument(
+        "--placement-seeds",
+        type=int,
+        default=3,
+        help="seeds per policy in the placement suite (smoke mode: keep at 3, --repeats 1)",
+    )
+    parser.add_argument(
         "--suite",
-        choices=["engine", "contention", "interference", "all"],
+        choices=["engine", "contention", "interference", "placement", "all"],
         default="all",
         help="which benchmark(s) to run",
     )
@@ -459,6 +573,14 @@ def main(argv=None) -> int:
             run_interference_bench(
                 repeats=args.repeats,
                 output=args.interference_output,
+            )
+        )
+    if args.suite in ("placement", "all"):
+        reports.append(
+            run_placement_bench(
+                seeds=args.placement_seeds,
+                repeats=args.repeats,
+                output=args.placement_output,
             )
         )
     for report in reports:

@@ -1,0 +1,110 @@
+"""Placement study: the same workload under every node-choice policy.
+
+Scheduling is two independent questions -- *which pod next* (the queue
+discipline: FIFO, backfill, priority) and *which node* (placement).  This
+example holds the first axis fixed and sweeps the second across the
+pluggable policies of :mod:`repro.cluster.placement`:
+
+* **first-fit** -- the pre-refactor default: first node with room;
+* **best-fit** -- tightest fit, keeps contiguous capacity free;
+* **spread** (worst-fit) -- emptiest node, minimises co-residency blindly;
+* **pack** -- most-utilised node, the noisy-neighbour-maximising baseline;
+* **least-slowdown** -- queries the cluster's interference model for the
+  post-placement slowdown of the pod *and* its prospective co-residents
+  and takes the cheapest node.
+
+Two scenarios make the trade-offs visible:
+
+* ``interference-heavy`` -- two identical 32-core nodes; capacity-only
+  policies pile all six concurrent workflows onto the first one, while the
+  interference-aware policy spreads and cuts mean slowdown by ~25%;
+* ``hetero-nodes`` -- an ``io-noisy`` and a ``numa-quiet`` tier under a
+  class-weighted slowdown (the noisy node hurts 10x more per co-resident):
+  least-slowdown placement discovers the quiet tier without being told.
+
+It closes with the reward-shaping analogue: the ``slowdown_inclusive``
+reward mode trains the bandit on interference-penalised targets, the same
+way the queue-aware mode charges queueing delay.
+
+Run with::
+
+    python examples/placement_study.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import build_scenario, run_scenario
+
+POLICIES = ["first-fit", "best-fit", "spread", "pack", "least-slowdown"]
+
+
+def sweep(scenario_name: str, seed: int = 0) -> dict:
+    results = {}
+    base = build_scenario(scenario_name, seed=seed)
+    for policy in POLICIES:
+        results[policy] = run_scenario(base.with_placement(policy)).summary()
+    return results
+
+
+def print_sweep(title: str, results: dict) -> None:
+    header = (
+        f"{'placement':<16} {'mean slowdown':>13} {'makespan':>10} "
+        f"{'i-regret':>9} {'accuracy':>9}"
+    )
+    print(title)
+    print(header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        summary = results[policy]
+        print(
+            f"{policy:<16} {summary['mean_slowdown']:>12.3f}x "
+            f"{summary['makespan_seconds']:>9.0f}s "
+            f"{summary['interference_inclusive_regret']:>8.0f}s "
+            f"{summary['accuracy']:>9.3f}"
+        )
+    print()
+
+
+def main() -> None:
+    print("placement study (seed=0)\n")
+
+    heavy = sweep("interference-heavy")
+    print_sweep("interference-heavy: two identical nodes, strong slowdown", heavy)
+    saved = heavy["pack"]["mean_slowdown"] - heavy["least-slowdown"]["mean_slowdown"]
+    print(
+        f"least-slowdown cuts mean slowdown {saved:.2f}x below pack "
+        "by spreading onto the idle second node\n"
+    )
+
+    hetero = sweep("hetero-nodes")
+    print_sweep("hetero-nodes: io-noisy vs numa-quiet interference classes", hetero)
+    print(
+        "capacity-only policies cannot tell the tiers apart (the nodes have "
+        "equal capacity);\nleast-slowdown reads the class-weighted "
+        "interference model and favours the quiet tier\n"
+    )
+
+    # Reward shaping: identical scenario and placement, but the bandit's
+    # training target charges interference-inflicted seconds on top of the
+    # observed runtime -- the slowdown analogue of queue-aware rewards.
+    base = build_scenario("interference-heavy", seed=0)
+    blind = run_scenario(base).summary()
+    shaped = run_scenario(base.with_slowdown_feedback(slowdown_weight=1.0)).summary()
+    print("slowdown-aware reward shaping (first-fit placement, same streams):")
+    print(
+        f"  runtime rewards           : mean slowdown {blind['mean_slowdown']:.3f}x, "
+        f"i-regret {blind['interference_inclusive_regret']:.0f}s"
+    )
+    print(
+        f"  slowdown-inclusive rewards: mean slowdown {shaped['mean_slowdown']:.3f}x, "
+        f"i-regret {shaped['interference_inclusive_regret']:.0f}s"
+    )
+    print(
+        "\nshaped tenants train on observed + weight * (observed - planned): "
+        "arms that keep\nlanding amid noisy neighbours look slower to the "
+        "bandit than their solo speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,9 +7,12 @@ paper's artefacts (and their own variations) without writing Python:
   experiments (one per bandit figure of the paper).
 * ``repro run-experiment <name>`` -- run one experiment and print the
   per-round RMSE/accuracy series plus the summary.
+* ``repro list-scenarios`` -- the contention-scenario registry with one-line
+  descriptions.
 * ``repro run-contention --scenario <name>`` -- play a multi-tenant workflow
   stream through the queued cluster simulator and report queue delay,
-  occupancy cost and queue-inclusive regret.
+  occupancy cost and queue-inclusive regret; ``--placement`` swaps the
+  node-choice policy, ``--replications`` adds confidence bands.
 * ``repro generate-dataset <cycles|bp3d|matmul> --output DIR`` -- materialise
   one of the synthetic datasets to a directory of CSV/JSON files.
 * ``repro show-catalog <ndp|synthetic|matmul|gpu>`` -- print a hardware
@@ -82,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list-experiments", help="list the registered paper experiments")
 
+    subparsers.add_parser(
+        "list-scenarios",
+        help="list the registered contention scenarios with their descriptions",
+    )
+
     run = subparsers.add_parser("run-experiment", help="run one experiment and print its series")
     run.add_argument("name", choices=sorted(EXPERIMENT_NAMES))
     run.add_argument("--rounds", type=int, default=None, help="override the number of rounds")
@@ -131,6 +139,26 @@ def build_parser() -> argparse.ArgumentParser:
             "override the scenario's interference model: 'none', "
             "'linear[:ALPHA]' (slowdown per unit of co-resident utilisation) "
             "or 'capacity[:CPU_FRACTION]' (usable CPU fraction under sharing)"
+        ),
+    )
+    contention.add_argument(
+        "--placement",
+        default=None,
+        choices=["first-fit", "best-fit", "spread", "worst-fit", "pack", "least-slowdown"],
+        help=(
+            "override the node-choice policy the scenario's scheduler uses "
+            "(ordering and placement are independent axes; the default keeps "
+            "each scheduler's own policy -- first-fit everywhere)"
+        ),
+    )
+    contention.add_argument(
+        "--replications",
+        type=int,
+        default=0,
+        help=(
+            "replicate the scenario over N consecutive seeds and append "
+            "per-round mean ± 95%% CI confidence bands to the report "
+            "(mutually exclusive with --sweep-seeds)"
         ),
     )
 
@@ -210,6 +238,23 @@ def _cmd_list_experiments(out) -> int:
     return 0
 
 
+def _cmd_list_scenarios(out) -> int:
+    """Print the contention-scenario registry with one-line descriptions."""
+    for name in sorted(CONTENTION_SCENARIOS):
+        scenario = build_scenario(name, seed=0)
+        description = " ".join(scenario.description.split())
+        interference = (
+            type(scenario.interference).__name__ if scenario.interference else "none"
+        )
+        print(
+            f"{name:<20} tenants={len(scenario.tenants)} nodes={len(scenario.nodes)} "
+            f"interference={interference}",
+            file=out,
+        )
+        print(f"{'':<20} {description}", file=out)
+    return 0
+
+
 def _cmd_run_experiment(args, out) -> int:
     definition = build_experiment(
         args.name,
@@ -229,11 +274,15 @@ def _cmd_run_experiment(args, out) -> int:
 
 def _cmd_run_contention(args, out) -> int:
     interference = _parse_interference(args.interference)
+    if args.sweep_seeds > 0 and args.replications > 0:
+        raise SystemExit("--sweep-seeds and --replications are mutually exclusive")
 
     def _build(seed: int):
         scenario = build_scenario(args.scenario, seed=seed)
         if interference is not _KEEP_SCENARIO_INTERFERENCE:
             scenario = scenario.with_interference(interference)
+        if args.placement is not None:
+            scenario = scenario.with_placement(args.placement)
         return scenario
 
     if args.sweep_seeds > 0:
@@ -272,12 +321,21 @@ def _cmd_run_contention(args, out) -> int:
         return 0
     scenario = _build(args.seed)
     model = type(scenario.interference).__name__ if scenario.interference else "none"
+    placement = scenario.placement.name if scenario.placement is not None else "scheduler default"
     print(
         f"running contention scenario {scenario.name!r} "
         f"({len(scenario.tenants)} tenants, {len(scenario.nodes)} nodes, "
-        f"interference={model}, seed={args.seed})",
+        f"interference={model}, placement={placement}, seed={args.seed})",
         file=out,
     )
+    if args.replications > 0:
+        from repro.evaluation import run_scenario_replications
+
+        summary = run_scenario_replications(
+            scenario, args.replications, n_workers=max(args.workers, 1)
+        )
+        print(format_contention_report(summary.results[0], replications=summary), file=out)
+        return 0
     result = run_scenario(scenario)
     print(format_contention_report(result), file=out)
     if args.rows > 0:
@@ -366,6 +424,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         if args.command == "list-experiments":
             return _cmd_list_experiments(out)
+        if args.command == "list-scenarios":
+            return _cmd_list_scenarios(out)
         if args.command == "run-experiment":
             return _cmd_run_experiment(args, out)
         if args.command == "run-contention":

@@ -14,10 +14,14 @@ Components:
 * :mod:`~repro.cluster.pod` -- pods: a workload run bound to a resource
   request (a :class:`~repro.hardware.HardwareConfig`) with a lifecycle
   (pending → running → completed).
-* :mod:`~repro.cluster.scheduler` -- FIFO (head-of-line blocking), backfill
-  (skip-ahead first-fit), best-fit bin-packing and priority/preemption
-  schedulers that place pending pods onto nodes with sufficient free
-  capacity.
+* :mod:`~repro.cluster.scheduler` -- the *ordering* axis ("which pod
+  next"): FIFO (head-of-line blocking), backfill (skip-ahead) and
+  priority/preemption queue disciplines.
+* :mod:`~repro.cluster.placement` -- the *placement* axis ("which node"):
+  pluggable :class:`PlacementPolicy` implementations (:class:`FirstFit`,
+  :class:`BestFit`, :class:`WorstFit` spread, :class:`Pack`,
+  interference-aware :class:`LeastSlowdown`) that any scheduler composes
+  with.
 * :mod:`~repro.cluster.autoscaler` -- :class:`AutoscalingNodePool`, an
   elastic node pool with provisioning delay and idle-node drain.
 * :mod:`~repro.cluster.interference` -- pluggable interference models
@@ -40,6 +44,17 @@ from repro.cluster.interference import (
     NoInterference,
 )
 from repro.cluster.node import Node, InsufficientCapacityError
+from repro.cluster.placement import (
+    BestFit,
+    FirstFit,
+    LeastSlowdown,
+    Pack,
+    PlacementContext,
+    PlacementPolicy,
+    WorstFit,
+    PLACEMENT_POLICIES,
+    build_placement,
+)
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import (
     BackfillScheduler,
@@ -60,6 +75,15 @@ __all__ = [
     "CapacityContention",
     "Node",
     "InsufficientCapacityError",
+    "PlacementPolicy",
+    "PlacementContext",
+    "FirstFit",
+    "BestFit",
+    "WorstFit",
+    "Pack",
+    "LeastSlowdown",
+    "PLACEMENT_POLICIES",
+    "build_placement",
     "Pod",
     "PodPhase",
     "FIFOScheduler",

@@ -64,6 +64,11 @@ class AutoscalingNodePool:
         disables scale-down.
     name_prefix:
         Prefix for provisioned node names (``<prefix>-1``, ``<prefix>-2``...).
+    node_interference_class:
+        Interference class stamped on every provisioned node (see
+        :attr:`~repro.cluster.node.Node.interference_class`).  Cloud pools
+        are often the noisy tier -- interference models can weight them
+        accordingly.
     """
 
     node_cpus: int
@@ -73,6 +78,7 @@ class AutoscalingNodePool:
     provision_delay_seconds: float = 60.0
     scale_down_idle_seconds: Optional[float] = 600.0
     name_prefix: str = "autoscale"
+    node_interference_class: str = "standard"
 
     def __post_init__(self) -> None:
         if self.node_cpus <= 0 or self.node_memory_gb <= 0 or self.node_gpus < 0:
@@ -105,6 +111,7 @@ class AutoscalingNodePool:
             memory_gb=self.node_memory_gb,
             gpus=self.node_gpus,
             labels={"pool": self.name_prefix},
+            interference_class=self.node_interference_class,
         )
 
     def fits_template(self, cpus: int, memory_gb: float, gpus: int) -> bool:

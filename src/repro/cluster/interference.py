@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod
@@ -92,24 +92,68 @@ class NoInterference(InterferenceModel):
 class LinearSlowdown(InterferenceModel):
     """Slowdown growing linearly with co-resident utilisation.
 
-    ``speed = 1 / (1 + alpha * u)`` where ``u`` is the co-residents'
+    ``speed = 1 / (1 + alpha_node * u)`` where ``u`` is the co-residents'
     bottleneck utilisation fraction of the node (their allocated share of
     the most contended resource dimension).  ``alpha`` is the slowdown per
     unit of neighbour utilisation: with ``alpha=0.5`` a pod sharing a node
     whose other tenants fill 80% of it runs at ``1/1.4 ~ 71%`` speed.
+
+    Heterogeneous clusters can weight the slowdown per node tier:
+    ``class_weights`` maps a node's
+    :attr:`~repro.cluster.node.Node.interference_class` to a multiplier on
+    ``alpha`` (``alpha_node = alpha * weight``; classes absent from the map
+    weigh 1.0).  A NUMA-partitioned tier might weigh 0.25 while an
+    oversubscribed-I/O tier weighs 2.5 -- same request, very different
+    noisy-neighbour damage, which is exactly what interference-aware
+    placement exploits.  The solo invariant is unaffected: ``u = 0`` alone,
+    so every class runs solo pods at full speed.
 
     This is the classic linear interference fit used for co-located
     batch workloads: cheap, monotone, and exact in the solo case.
     """
 
     alpha: float = 0.5
+    #: Optional per-interference-class multiplier on ``alpha``.  Accepts a
+    #: mapping (or an items tuple) at construction; *stored* normalised as a
+    #: sorted tuple of ``(class, weight)`` pairs so the frozen dataclass
+    #: stays hashable and picklable -- read it back as a mapping via
+    #: :attr:`weight_map`.
+    class_weights: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.class_weights is not None:
+            items = tuple(
+                sorted((str(k), float(v)) for k, v in dict(self.class_weights).items())
+            )
+            for name, weight in items:
+                if weight < 0:
+                    raise ValueError(
+                        f"class weight for {name!r} must be non-negative, got {weight}"
+                    )
+            object.__setattr__(self, "class_weights", items)
+            object.__setattr__(self, "_weight_map", dict(items))
+
+    @property
+    def weight_map(self) -> Mapping[str, float]:
+        """The per-class multipliers as a plain mapping (empty when unset)."""
+        if self.class_weights is None:
+            return {}
+        return dict(getattr(self, "_weight_map", dict(self.class_weights)))
+
+    def node_alpha(self, node: Node) -> float:
+        """The effective slowdown coefficient for one node's tier."""
+        if self.class_weights is None:
+            return self.alpha
+        return self.alpha * getattr(self, "_weight_map", {}).get(
+            node.interference_class, 1.0
+        )
 
     def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
-        return 1.0 / (1.0 + self.alpha * _co_resident_utilisation(node, co_residents))
+        return 1.0 / (
+            1.0 + self.node_alpha(node) * _co_resident_utilisation(node, co_residents)
+        )
 
 
 @dataclass(frozen=True)

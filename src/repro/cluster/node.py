@@ -25,6 +25,13 @@ class Node:
     labels:
         Arbitrary metadata (zone, architecture, ...), mirroring Kubernetes
         node labels.
+    interference_class:
+        Hardware tier of the node's *shared* paths (NUMA layout, last-level
+        cache, I/O fabric) -- e.g. ``"standard"`` (the default),
+        ``"numa-quiet"``, ``"io-noisy"``.  Interference models may weight
+        co-residency slowdown per class (see
+        :class:`~repro.cluster.interference.LinearSlowdown`), and
+        interference-aware placement steers pods toward quiet tiers.
     """
 
     def __init__(
@@ -34,6 +41,7 @@ class Node:
         memory_gb: float,
         gpus: int = 0,
         labels: Optional[Dict[str, str]] = None,
+        interference_class: str = "standard",
     ):
         if not name:
             raise ValueError("node requires a non-empty name")
@@ -41,11 +49,14 @@ class Node:
             raise ValueError(
                 f"invalid capacity for node {name!r}: cpus={cpus}, memory_gb={memory_gb}, gpus={gpus}"
             )
+        if not interference_class:
+            raise ValueError(f"node {name!r} requires a non-empty interference class")
         self.name = name
         self.cpus = int(cpus)
         self.memory_gb = float(memory_gb)
         self.gpus = int(gpus)
         self.labels = dict(labels or {})
+        self.interference_class = str(interference_class)
         self._allocations: Dict[str, HardwareConfig] = {}
 
     # ------------------------------------------------------------------ #
@@ -127,6 +138,7 @@ class Node:
             memory_gb=self.memory_gb,
             gpus=self.gpus,
             labels=self.labels,
+            interference_class=self.interference_class,
         )
 
     def release(self, pod_name: str) -> HardwareConfig:

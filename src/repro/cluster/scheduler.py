@@ -1,4 +1,15 @@
-"""Pod-to-node schedulers."""
+"""Pod schedulers: the queue-discipline axis of scheduling.
+
+A scheduler answers **which pod next** -- service order of the pending
+queue (FIFO head-of-line blocking, backfill skip-ahead, priority classes
+with preemption).  **Which node** is a separate, orthogonal axis answered
+by a pluggable :class:`~repro.cluster.placement.PlacementPolicy`; every
+scheduler composes with any placement via the ``placement=`` constructor
+argument, and defaults to the policy that reproduces its pre-refactor
+behaviour bit for bit (:class:`~repro.cluster.placement.FirstFit` for the
+FIFO family, :class:`~repro.cluster.placement.BestFit` for
+:class:`BestFitScheduler`).
+"""
 
 from __future__ import annotations
 
@@ -7,16 +18,26 @@ from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.node import Node
+from repro.cluster.placement import (
+    BestFit,
+    FirstFit,
+    PlacementContext,
+    PlacementPolicy,
+)
 from repro.cluster.pod import Pod
 
 __all__ = [
     "SchedulingDecision",
     "PreemptionDecision",
+    "Scheduler",
     "FIFOScheduler",
     "BackfillScheduler",
     "BestFitScheduler",
     "PriorityScheduler",
 ]
+
+#: Shared failure explanation (pinned by event-log tests).
+_NO_CAPACITY = "no node has sufficient free capacity"
 
 
 @dataclass(frozen=True)
@@ -62,7 +83,16 @@ class PreemptionDecision:
 
 
 class Scheduler(abc.ABC):
-    """Base class: pick a node (or none) for a pending pod."""
+    """Base class: a queue discipline composed with a placement policy.
+
+    Parameters
+    ----------
+    placement:
+        The node-choice policy (see :mod:`repro.cluster.placement`).
+        Defaults to the scheduler's :meth:`default_placement` --
+        first-fit unless a subclass says otherwise -- which keeps every
+        scheduler's historical behaviour intact.
+    """
 
     #: Queue discipline: when true, a pending pod that cannot be placed blocks
     #: every pod behind it until capacity frees up (strict FIFO service
@@ -76,13 +106,39 @@ class Scheduler(abc.ABC):
     #: enables this.
     supports_preemption: bool = False
 
-    @abc.abstractmethod
-    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
-        """Return the placement decision for ``pod`` given the current ``nodes``."""
+    def __init__(self, placement: Optional[PlacementPolicy] = None):
+        self.placement = placement if placement is not None else self.default_placement()
 
-    def schedule(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
+    @classmethod
+    def default_placement(cls) -> PlacementPolicy:
+        """The placement policy used when none is injected."""
+        return FirstFit()
+
+    def select_node(
+        self,
+        pod: Pod,
+        nodes: Sequence[Node],
+        context: Optional[PlacementContext] = None,
+    ) -> SchedulingDecision:
+        """Return the placement decision for ``pod`` given the current ``nodes``.
+
+        ``context`` carries co-residency and the active interference model
+        for interference-aware placement policies; capacity-only policies
+        ignore it (and callers may omit it).
+        """
+        node = self.placement.select(pod, nodes, context)
+        if node is None:
+            return SchedulingDecision(pod.name, None, _NO_CAPACITY)
+        return SchedulingDecision(pod.name, node.name, self.placement.reason)
+
+    def schedule(
+        self,
+        pod: Pod,
+        nodes: Sequence[Node],
+        context: Optional[PlacementContext] = None,
+    ) -> SchedulingDecision:
         """Select a node and, if one fits, perform the allocation."""
-        decision = self.select_node(pod, nodes)
+        decision = self.select_node(pod, nodes, context)
         if decision.placed:
             node = next(n for n in nodes if n.name == decision.node_name)
             node.allocate(pod.name, pod.request)
@@ -113,32 +169,26 @@ class Scheduler(abc.ABC):
 
 
 class FIFOScheduler(Scheduler):
-    """First-fit placement with strict first-in-first-out service order.
+    """Strict first-in-first-out service order (first-fit placement by default).
 
-    Pods are placed on the first node (in cluster order) with room, and a
-    pod that does not fit blocks everything queued behind it until capacity
-    frees up -- first *in*, first *out*, even when a later, smaller pod would
-    fit right now.  Use :class:`BackfillScheduler` for the skip-ahead variant
-    that trades service-order fairness for utilisation.
+    A pod that does not fit blocks everything queued behind it until
+    capacity frees up -- first *in*, first *out*, even when a later, smaller
+    pod would fit right now.  Use :class:`BackfillScheduler` for the
+    skip-ahead variant that trades service-order fairness for utilisation.
 
-    This mirrors a naive first-fit placement and is the default used by the
-    cluster simulator: BanditWare controls the *resource request*, not the
-    node choice, so the scheduler's only job is to find capacity.
+    The default first-fit placement mirrors a naive scheduler: BanditWare
+    controls the *resource request*, not the node choice, so the baseline
+    only needs to find capacity.  Pass ``placement=`` to compose the FIFO
+    discipline with any other node-choice policy.
     """
 
     head_of_line_blocking = True
 
-    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
-        for node in nodes:
-            if node.fits(pod.request):
-                return SchedulingDecision(pod.name, node.name, "first node with sufficient capacity")
-        return SchedulingDecision(pod.name, None, "no node has sufficient free capacity")
-
 
 class BackfillScheduler(FIFOScheduler):
-    """First-fit placement that skips over pods that do not currently fit.
+    """FIFO service order that skips over pods that do not currently fit.
 
-    Same node choice as :class:`FIFOScheduler`, but a pending pod that cannot
+    Same placement as :class:`FIFOScheduler`, but a pending pod that cannot
     be placed does not block the pods behind it: any later pod that fits is
     started immediately ("backfilling").  This keeps the cluster busy at the
     cost of fairness -- a large request can be starved indefinitely by a
@@ -150,31 +200,23 @@ class BackfillScheduler(FIFOScheduler):
 
 
 class BestFitScheduler(Scheduler):
-    """Place the pod on the feasible node that leaves the least spare CPU.
+    """Backfill service order with best-fit placement by default.
 
-    A classic best-fit bin-packing heuristic: it keeps large contiguous
-    capacity free for large requests, which reduces head-of-line blocking in
-    the simulator's queue when workloads with mixed resource requests share
-    the cluster.
+    Kept as a named class for backwards compatibility: it is exactly
+    ``Scheduler(placement=BestFit())``.  Best-fit keeps large contiguous
+    capacity free for large requests, which reduces head-of-line blocking
+    when workloads with mixed resource requests share the cluster.
+    Tie-breaking between equal-fit nodes is deterministic on
+    ``(leftover, node.name)`` -- see :class:`~repro.cluster.placement.BestFit`.
     """
 
-    def select_node(self, pod: Pod, nodes: Sequence[Node]) -> SchedulingDecision:
-        feasible: List[Node] = [n for n in nodes if n.fits(pod.request)]
-        if not feasible:
-            return SchedulingDecision(pod.name, None, "no node has sufficient free capacity")
-        best = min(
-            feasible,
-            key=lambda n: (
-                n.free_cpus - pod.request.cpus,
-                n.free_memory_gb - pod.request.memory_gb,
-                n.name,
-            ),
-        )
-        return SchedulingDecision(pod.name, best.name, "best-fit on remaining CPU")
+    @classmethod
+    def default_placement(cls) -> PlacementPolicy:
+        return BestFit()
 
 
 class PriorityScheduler(FIFOScheduler):
-    """Priority classes with first-fit placement and optional preemption.
+    """Priority classes with optional preemption (first-fit placement by default).
 
     The pending queue is served highest priority class first; within one
     class, strict first-in-first-out order is preserved (the sort is stable
@@ -193,7 +235,12 @@ class PriorityScheduler(FIFOScheduler):
     time wasted).
     """
 
-    def __init__(self, preemption: bool = True):
+    def __init__(
+        self,
+        preemption: bool = True,
+        placement: Optional[PlacementPolicy] = None,
+    ):
+        super().__init__(placement=placement)
         self.supports_preemption = bool(preemption)
 
     def sort_pending(self, pods: Sequence[Pod]) -> List[Pod]:

@@ -30,6 +30,7 @@ from repro.cluster.autoscaler import AutoscalerState, AutoscalingNodePool, Scale
 from repro.cluster.events import EventQueue
 from repro.cluster.interference import InterferenceModel, NoInterference
 from repro.cluster.node import InsufficientCapacityError, Node
+from repro.cluster.placement import PlacementContext
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import FIFOScheduler, Scheduler
 from repro.hardware import HardwareCatalog, HardwareConfig
@@ -112,7 +113,11 @@ class ClusterSimulator:
         Cluster nodes; defaults to a 3-node, 64-core cluster that can fit any
         single request from the paper's catalogs.
     scheduler:
-        Placement policy; defaults to first-fit FIFO.
+        Queue discipline composed with a placement policy; defaults to
+        FIFO service order with first-fit placement.  Ordering ("which pod
+        next") and placement ("which node") are independent axes: pass e.g.
+        ``FIFOScheduler(placement=LeastSlowdown())`` to combine strict FIFO
+        with interference-aware node choice.
     seed:
         Seed for runtime-noise draws.
     log:
@@ -217,7 +222,13 @@ class ClusterSimulator:
         if request.name not in self._feasibility:
             pristine = [n.clone() for n in self.nodes]
             probe = Pod(name="feasibility-probe", request=request)
-            decision = self.scheduler.select_node(probe, pristine)
+            # Probes run against pristine (empty) clones, so the placement
+            # context carries no co-residents: every policy -- including the
+            # interference-aware ones -- answers deterministically from
+            # total capacity, which is what makes the per-hardware cache
+            # valid until the node set itself changes.
+            context = PlacementContext(interference=self.interference, running={})
+            decision = self.scheduler.select_node(probe, pristine, context)
             self._feasibility[request.name] = decision.node_name
         node_name = self._feasibility[request.name]
         if node_name is None:
@@ -359,6 +370,20 @@ class ClusterSimulator:
             for node in self.nodes
         }
 
+    def _placement_context(self) -> Optional[PlacementContext]:
+        """Live co-residency + interference for interference-aware placement.
+
+        ``None`` for capacity-only policies (first-fit, best-fit, ...):
+        they never read the context, and skipping the per-placement
+        co-residency snapshot keeps the default path exactly as cheap as
+        the pre-refactor schedulers.
+        """
+        if not self.scheduler.placement.needs_context:
+            return None
+        return PlacementContext(
+            interference=self.interference, running=self._running_pods_by_node()
+        )
+
     def _start_pod(self, pod: Pod, node_name: str, reason: str) -> None:
         """Transition a placed pod to running and (re)schedule the node's finishes.
 
@@ -462,18 +487,24 @@ class ClusterSimulator:
         still_pending: List[Pod] = []
         blocked = False
         queue = self.scheduler.sort_pending(self._pending)
+        # The co-residency snapshot is only stale after a *successful*
+        # placement (or a preemption); failed attempts leave the cluster
+        # untouched, so one context serves every consecutive failure.
+        context = self._placement_context()
         for i, pod in enumerate(queue):
             if blocked:
                 still_pending.extend(queue[i:])
                 break
-            decision = self.scheduler.schedule(pod, self.nodes)
+            decision = self.scheduler.schedule(pod, self.nodes, context)
             if not decision.placed and self.scheduler.supports_preemption:
                 plan = self.scheduler.select_victims(
                     pod, self.nodes, self._running_pods_by_node()
                 )
                 if plan is not None:
                     victims = self._preempt_victims(plan)
-                    decision = self.scheduler.schedule(pod, self.nodes)
+                    decision = self.scheduler.schedule(
+                        pod, self.nodes, self._placement_context()
+                    )
                     if decision.placed:
                         self._start_pod(pod, decision.node_name, decision.reason)
                         remaining = queue[i + 1 :]
@@ -489,6 +520,7 @@ class ClusterSimulator:
                     return True
             if decision.placed:
                 self._start_pod(pod, decision.node_name, decision.reason)
+                context = self._placement_context()
             else:
                 still_pending.append(pod)
                 # Strict FIFO service order: an unplaceable pod at the head of
@@ -502,9 +534,17 @@ class ClusterSimulator:
     def _maybe_scale_up(self) -> None:
         """Request pool nodes for pending pods that current capacity can't place.
 
-        The deficit is computed by first-fit packing the eligible pending
-        pods into fresh template nodes, minus capacity already being
-        provisioned, capped by the pool's ``max_nodes``.
+        The deficit is computed by packing the eligible pending pods into
+        hypothetical fresh template nodes *with the scheduler's own
+        placement policy* (a new bin is opened only when the policy places
+        nowhere), minus capacity already being provisioned, capped by the
+        pool's ``max_nodes``.  Under the default first-fit placement this
+        reproduces the pre-refactor bin count exactly.  Other policies may
+        legitimately count differently: which bin a pod lands in changes
+        the residual capacity, so e.g. spread can leave a later pod without
+        a home that first-fit's packing would have preserved (and open an
+        extra bin) -- the estimate deliberately mirrors how the policy will
+        place the pods once capacity exists.
         """
         state = self._autoscaler
         if state is None or not self._pending:
@@ -522,24 +562,21 @@ class ClusterSimulator:
         ]
         if not waiting:
             return
-        # First-fit the waiting pods into hypothetical empty template nodes.
-        bins: List[List[float]] = []  # [free_cpus, free_mem, free_gpus]
+        # Pack the waiting pods into hypothetical empty template nodes using
+        # the active placement policy; each placed pod becomes a co-resident
+        # of its bin so interference-aware policies see the packing build up.
+        bins: List[Node] = []
+        bin_running: Dict[str, List[Pod]] = {}
+        placement = self.scheduler.placement
+        context = PlacementContext(interference=self.interference, running=bin_running)
         for pod in waiting:
-            req = pod.request
-            for b in bins:
-                if req.cpus <= b[0] and req.memory_gb <= b[1] and req.gpus <= b[2]:
-                    b[0] -= req.cpus
-                    b[1] -= req.memory_gb
-                    b[2] -= req.gpus
-                    break
-            else:
-                bins.append(
-                    [
-                        pool.node_cpus - req.cpus,
-                        pool.node_memory_gb - req.memory_gb,
-                        pool.node_gpus - req.gpus,
-                    ]
-                )
+            chosen = placement.select(pod, bins, context) if bins else None
+            if chosen is None:
+                chosen = pool.template_node(f"{pool.name_prefix}-deficit-{len(bins) + 1}")
+                bins.append(chosen)
+                bin_running[chosen.name] = []
+            chosen.allocate(pod.name, pod.request)
+            bin_running[chosen.name].append(pod)
         deficit = len(bins) - state.in_flight
         budget = pool.max_nodes - state.total
         for _ in range(max(0, min(deficit, budget))):

@@ -69,13 +69,16 @@ class ObservationRecord:
     """One observation fed back to the recommender.
 
     ``queue_seconds`` is the capacity-wait the workflow reported alongside
-    its runtime (0 for contention-free observations).
+    its runtime (0 for contention-free observations); ``slowdown`` is the
+    observed/planned runtime ratio an interference-aware cluster measured
+    (``None`` when the substrate does not report one).
     """
 
     features: Dict[str, float]
     hardware: str
     runtime_seconds: float
     queue_seconds: float = 0.0
+    slowdown: Optional[float] = None
 
 
 class BanditWare:
@@ -216,16 +219,24 @@ class BanditWare:
         hardware: Union[str, HardwareConfig],
         runtime_seconds: float,
         queue_seconds: float = 0.0,
+        slowdown: Optional[float] = None,
     ) -> None:
         """Feed back the observed runtime of a workflow run on ``hardware``.
 
         ``queue_seconds`` reports how long the workflow waited for cluster
         capacity; it only shapes the learning signal when the recommender's
-        :attr:`reward` is in ``queue_inclusive`` mode.
+        :attr:`reward` is in ``queue_inclusive`` mode.  ``slowdown`` reports
+        the observed/planned runtime ratio an interference-aware cluster
+        measured; it only shapes the signal in ``slowdown_inclusive`` mode.
         """
         context = self.context_vector(features)
         self.observe_vector(
-            context, hardware, runtime_seconds, features=features, queue_seconds=queue_seconds
+            context,
+            hardware,
+            runtime_seconds,
+            features=features,
+            queue_seconds=queue_seconds,
+            slowdown=slowdown,
         )
 
     def observe_vector(
@@ -236,6 +247,7 @@ class BanditWare:
         features: Optional[Dict[str, float]] = None,
         validate: bool = True,
         queue_seconds: float = 0.0,
+        slowdown: Optional[float] = None,
     ) -> None:
         """Feed back one observation given an already-ordered context vector.
 
@@ -267,7 +279,7 @@ class BanditWare:
         else:
             arm = self.catalog.index_of(hardware)
         # In the default "runtime" mode this is runtime_seconds, untouched.
-        target = self.reward.effective_runtime(runtime_seconds, queue_seconds)
+        target = self.reward.effective_runtime(runtime_seconds, queue_seconds, slowdown)
         self._models[arm].update_vector(context, target)
         self.policy.observe(arm, context, target)
         if self.track_history:
@@ -279,6 +291,7 @@ class BanditWare:
                     hardware=self.catalog[arm].name,
                     runtime_seconds=runtime_seconds,
                     queue_seconds=float(queue_seconds),
+                    slowdown=float(slowdown) if slowdown is not None else None,
                 )
             )
 
@@ -288,6 +301,7 @@ class BanditWare:
         hardware: Sequence[Union[str, HardwareConfig]],
         runtimes_seconds: Sequence[float],
         queues_seconds: Optional[Sequence[float]] = None,
+        slowdowns: Optional[Sequence[Optional[float]]] = None,
     ) -> None:
         """Feed back a batch of observations in one call.
 
@@ -301,7 +315,9 @@ class BanditWare:
 
         ``queues_seconds`` optionally reports each workflow's capacity wait;
         like :meth:`observe`, it only shapes the learning signal in
-        ``queue_inclusive`` reward mode.
+        ``queue_inclusive`` reward mode.  ``slowdowns`` optionally reports
+        each workflow's observed/planned ratio (entries may be ``None``);
+        it only shapes the signal in ``slowdown_inclusive`` mode.
         """
         if not (len(features_batch) == len(hardware) == len(runtimes_seconds)):
             raise ValueError(
@@ -312,6 +328,11 @@ class BanditWare:
             raise ValueError(
                 f"batch length mismatch: {len(runtimes_seconds)} runtimes but "
                 f"{len(queues_seconds)} queue delays"
+            )
+        if slowdowns is not None and len(slowdowns) != len(runtimes_seconds):
+            raise ValueError(
+                f"batch length mismatch: {len(runtimes_seconds)} runtimes but "
+                f"{len(slowdowns)} slowdowns"
             )
         contexts = [self.context_vector(features) for features in features_batch]
         if contexts and not np.all(np.isfinite(np.vstack(contexts))):
@@ -324,11 +345,16 @@ class BanditWare:
                     f"runtime_seconds must be finite and non-negative, got {runtime}"
                 )
         queues = [0.0] * len(runtimes) if queues_seconds is None else [float(q) for q in queues_seconds]
-        # effective_runtime validates queue delays (and is the identity in
-        # the default "runtime" mode).
+        ratios = (
+            [None] * len(runtimes)
+            if slowdowns is None
+            else [None if s is None else float(s) for s in slowdowns]
+        )
+        # effective_runtime validates queue delays and slowdowns (and is the
+        # identity in the default "runtime" mode).
         targets = [
-            self.reward.effective_runtime(runtime, queue)
-            for runtime, queue in zip(runtimes, queues)
+            self.reward.effective_runtime(runtime, queue, ratio)
+            for runtime, queue, ratio in zip(runtimes, queues, ratios)
         ]
         per_arm_X: Dict[int, List[np.ndarray]] = {}
         per_arm_y: Dict[int, List[float]] = {}
@@ -337,8 +363,8 @@ class BanditWare:
             per_arm_y.setdefault(arm, []).append(target)
         for arm, rows in per_arm_X.items():
             self._models[arm].update_batch(np.vstack(rows), per_arm_y[arm])
-        for features, context, arm, target, runtime, queue in zip(
-            features_batch, contexts, arms, targets, runtimes, queues
+        for features, context, arm, target, runtime, queue, ratio in zip(
+            features_batch, contexts, arms, targets, runtimes, queues, ratios
         ):
             self.policy.observe(arm, context, target)
             if self.track_history:
@@ -348,6 +374,7 @@ class BanditWare:
                         hardware=self.catalog[arm].name,
                         runtime_seconds=runtime,
                         queue_seconds=queue,
+                        slowdown=ratio,
                     )
                 )
 

@@ -46,6 +46,8 @@ from repro.evaluation.experiment import (
 )
 from repro.evaluation.engine import (
     ExperimentEngine,
+    ReplicationSummary,
+    run_scenario_replications,
     run_scenario_sweep,
 )
 from repro.evaluation.contention import (
@@ -61,6 +63,7 @@ from repro.evaluation.contention import (
 from repro.evaluation.reporting import (
     format_contention_report,
     format_metric_table,
+    format_replication_bands,
     format_series,
     format_summary,
 )
@@ -75,8 +78,11 @@ __all__ = [
     "run_scenario",
     "run_synchronous",
     "run_scenario_sweep",
+    "run_scenario_replications",
+    "ReplicationSummary",
     "ExperimentEngine",
     "format_contention_report",
+    "format_replication_bands",
     "rmse",
     "mae",
     "mape",

@@ -41,7 +41,7 @@ import itertools
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -77,6 +77,8 @@ __all__ = [
     "run_online_replication",
     "run_replications",
     "run_scenario_sweep",
+    "ReplicationSummary",
+    "run_scenario_replications",
 ]
 
 
@@ -145,6 +147,11 @@ class ContentionResult:
     node_pool_cost: float = 0.0
     #: Autoscaling actions, in time order (empty without an autoscaler).
     scale_events: List[object] = field(default_factory=list)
+    #: Registry name of the placement policy the run's scheduler used.
+    placement: str = "first-fit"
+    #: Reward mode per tenant (``"runtime"``, ``"queue_inclusive"`` or
+    #: ``"slowdown_inclusive"``), for the report's reward-shaping line.
+    reward_modes: Dict[str, str] = field(default_factory=dict)
 
     @property
     def n_completed(self) -> int:
@@ -404,16 +411,28 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------ #
     def _build_cluster(self, workload: WorkloadModel) -> ClusterSimulator:
+        scheduler = self.scenario.scheduler_factory()
+        if self.scenario.placement is not None:
+            # The placement axis is orthogonal to the queue discipline: the
+            # scenario's policy is injected into whatever scheduler the
+            # factory built (FIFO, backfill, priority, ...).
+            scheduler.placement = self.scenario.placement
         return ClusterSimulator(
             workload=workload,
             catalog=self.catalog,
             nodes=self.scenario.fresh_nodes(),
-            scheduler=self.scenario.scheduler_factory(),
+            scheduler=scheduler,
             seed=self.scenario.seed,
             log=self.log,
             autoscaler=self.scenario.autoscaler,
             interference=self.scenario.interference,
         )
+
+    def _reward_modes(self) -> Dict[str, str]:
+        return {
+            tenant.name: (tenant.reward.mode if tenant.reward is not None else "runtime")
+            for tenant in self.scenario.tenants
+        }
 
     def _node_pool_cost(self, cluster: ClusterSimulator) -> float:
         pool = self.scenario.autoscaler
@@ -542,6 +561,8 @@ class ExperimentEngine:
             wasted_occupancy_cost=accountant.wasted_occupancy,
             node_pool_cost=self._node_pool_cost(cluster),
             scale_events=cluster.scale_events,
+            placement=cluster.scheduler.placement.name,
+            reward_modes=self._reward_modes(),
         )
 
     # ------------------------------------------------------------------ #
@@ -585,6 +606,8 @@ class ExperimentEngine:
             total_occupancy_cost=accountant.total_occupancy,
             rows=accountant.rows,
             tenants={tenant.name: state.outcome},
+            placement=cluster.scheduler.placement.name,
+            reward_modes=self._reward_modes(),
         )
 
 
@@ -758,3 +781,159 @@ def run_scenario_sweep(
         # Same fallback contract as run_replications.
         with ThreadPoolExecutor(max_workers=n_workers) as executor:
             return list(executor.map(worker, scenarios))
+
+
+# --------------------------------------------------------------------- #
+# Scenario replications with confidence bands
+# --------------------------------------------------------------------- #
+@dataclass
+class ReplicationSummary:
+    """Per-round mean ± spread curves across replications of one scenario.
+
+    A single scenario run is one sample of every headline number; the
+    replication runner plays the same scenario under ``n`` consecutive
+    seeds and aggregates the per-completion curves, so reports can show
+    confidence bands instead of point estimates.  Completion index is the
+    round axis: every replication completes the same number of workflows
+    (each tenant's ``n_workflows`` is part of the scenario), so the curve
+    matrices are rectangular by construction.
+
+    Attributes
+    ----------
+    scenario_name:
+        The replicated scenario.
+    seeds:
+        The seed of each replication, in result order.
+    results:
+        The full per-replication :class:`ContentionResult` objects.
+    regret_curves, queue_regret_curves, interference_regret_curves:
+        ``(n_replications, n_rounds)`` cumulative regret in completion
+        order (runtime, queue-inclusive and interference-inclusive).
+    slowdown_curves:
+        ``(n_replications, n_rounds)`` running mean slowdown in completion
+        order.
+    """
+
+    scenario_name: str
+    seeds: List[int]
+    results: List[ContentionResult]
+    regret_curves: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    queue_regret_curves: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    interference_regret_curves: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    slowdown_curves: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+
+    @property
+    def n_replications(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_rounds(self) -> int:
+        return int(self.regret_curves.shape[1]) if self.regret_curves.size else 0
+
+    def band(self, which: str = "queue_regret", z: float = 1.96) -> Dict[str, np.ndarray]:
+        """Per-round ``mean``/``std``/``lo``/``hi`` arrays for one curve family.
+
+        ``which`` is ``"regret"``, ``"queue_regret"``,
+        ``"interference_regret"`` or ``"slowdown"``; ``lo``/``hi`` is the
+        normal-approximation confidence band ``mean ± z * std / sqrt(n)``
+        (``z=1.96`` for 95%).
+        """
+        curves = {
+            "regret": self.regret_curves,
+            "queue_regret": self.queue_regret_curves,
+            "interference_regret": self.interference_regret_curves,
+            "slowdown": self.slowdown_curves,
+        }
+        if which not in curves:
+            raise KeyError(f"unknown curve {which!r}; known: {sorted(curves)}")
+        matrix = curves[which]
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0, ddof=1) if matrix.shape[0] > 1 else np.zeros_like(mean)
+        half = z * std / np.sqrt(matrix.shape[0]) if matrix.shape[0] else std
+        return {"mean": mean, "std": std, "lo": mean - half, "hi": mean + half}
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """Headline scalars as ``(mean, std)`` across replications."""
+        keys = [
+            "makespan_seconds",
+            "total_queue_seconds",
+            "cumulative_regret",
+            "queue_inclusive_regret",
+            "interference_inclusive_regret",
+            "mean_slowdown",
+            "occupancy_cost",
+            "accuracy",
+        ]
+        summaries = [result.summary() for result in self.results]
+        table = {key: np.asarray([s[key] for s in summaries]) for key in keys}
+        return {
+            key: (
+                float(values.mean()),
+                float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            )
+            for key, values in table.items()
+        }
+
+
+def run_scenario_replications(
+    scenario: "ContentionScenario",
+    n_replications: int,
+    n_workers: int = 1,
+    cost_model: Optional[ResourceCostModel] = None,
+) -> ReplicationSummary:
+    """Replicate one scenario over consecutive seeds and aggregate band curves.
+
+    Replication ``i`` runs the scenario with seed ``scenario.seed + i``
+    (every stream -- features, arrivals, warm starts, runtime noise,
+    exploration -- derives from the scenario seed, so consecutive seeds are
+    independent replications of the same setup).  The fan-out reuses
+    :func:`run_scenario_sweep`, so ``n_workers > 1`` distributes
+    replications over a process pool with the usual thread fallback.
+    """
+    if n_replications < 1:
+        raise ValueError(f"n_replications must be >= 1, got {n_replications}")
+    seeds = [scenario.seed + i for i in range(n_replications)]
+    replications = [dataclass_replace(scenario, seed=seed) for seed in seeds]
+    results = run_scenario_sweep(replications, n_workers=n_workers, cost_model=cost_model)
+    lengths = {len(result.rows) for result in results}
+    if len(lengths) > 1:
+        raise RuntimeError(
+            f"replications completed unequal workflow counts {sorted(lengths)}; "
+            "per-round aggregation needs rectangular curves"
+        )
+    regret = np.vstack(
+        [np.cumsum([float(row["runtime_regret"]) for row in r.rows]) for r in results]
+    )
+    queue_regret = np.vstack(
+        [
+            np.cumsum([float(row["queue_inclusive_regret"]) for row in r.rows])
+            for r in results
+        ]
+    )
+    interference_regret = np.vstack(
+        [
+            np.cumsum(
+                [
+                    float(row["runtime_regret"]) + float(row["interference_seconds"])
+                    for row in r.rows
+                ]
+            )
+            for r in results
+        ]
+    )
+    rounds = np.arange(1, len(results[0].rows) + 1)
+    slowdown = np.vstack(
+        [
+            np.cumsum([float(row["slowdown"]) for row in r.rows]) / rounds
+            for r in results
+        ]
+    )
+    return ReplicationSummary(
+        scenario_name=scenario.name,
+        seeds=seeds,
+        results=list(results),
+        regret_curves=regret,
+        queue_regret_curves=queue_regret,
+        interference_regret_curves=interference_regret,
+        slowdown_curves=slowdown,
+    )

@@ -17,6 +17,7 @@ from repro.evaluation.simulation import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (contention imports nothing back)
     from repro.evaluation.contention import ContentionResult
+    from repro.evaluation.engine import ReplicationSummary
 
 __all__ = [
     "format_series",
@@ -24,6 +25,7 @@ __all__ = [
     "format_summary",
     "format_histogram",
     "format_contention_report",
+    "format_replication_bands",
 ]
 
 
@@ -101,13 +103,21 @@ def format_summary(summary: Mapping[str, float], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def format_contention_report(result: "ContentionResult") -> str:
+def format_contention_report(
+    result: "ContentionResult",
+    replications: Optional["ReplicationSummary"] = None,
+) -> str:
     """Render a contention scenario's queue-aware accounting as text.
 
     One row per tenant (accuracy, queueing, regret), followed by the
     scenario-level summary: makespan, queue-delay distribution, occupancy
     cost in resource-seconds, and the queue-inclusive regret that charges
-    waiting time against the contention-free oracle.
+    waiting time against the contention-free oracle.  A placement line names
+    the node-choice policy the run's scheduler used, and a reward-shaping
+    line appears when any tenant trains on queue- or slowdown-penalised
+    targets.  Pass a :class:`~repro.evaluation.engine.ReplicationSummary`
+    to append per-round mean ± 95% CI confidence bands aggregated across
+    scenario replications.
     """
     rows = []
     for outcome in result.tenants.values():
@@ -130,6 +140,24 @@ def format_contention_report(result: "ContentionResult") -> str:
     scenario_summary = result.summary()
     summary = format_summary(scenario_summary, title="scenario summary")
     report = f"{table}\n\n{summary}"
+    report += f"\nplacement: {result.placement} (ordering and node choice are independent axes)"
+    shaped = {
+        tenant: mode
+        for tenant, mode in result.reward_modes.items()
+        if mode != "runtime"
+    }
+    if shaped:
+        by_mode: Dict[str, List[str]] = {}
+        for tenant, mode in shaped.items():
+            by_mode.setdefault(mode, []).append(tenant)
+        parts = [
+            f"{mode} ({', '.join(sorted(tenants))})" for mode, tenants in sorted(by_mode.items())
+        ]
+        report += (
+            "\nreward shaping: "
+            + "; ".join(parts)
+            + " -- these tenants train on penalised targets, not raw runtimes"
+        )
     if scenario_summary.get("interference_seconds", 0.0) > 0.0:
         report += (
             "\ninterference: mean slowdown "
@@ -144,7 +172,53 @@ def format_contention_report(result: "ContentionResult") -> str:
             kinds[event.kind] = kinds.get(event.kind, 0) + 1
         actions = ", ".join(f"{kinds[k]} {k}" for k in sorted(kinds))
         report += f"\nautoscaler: {actions}"
+    if replications is not None:
+        report += "\n\n" + format_replication_bands(replications)
     return report
+
+
+def format_replication_bands(
+    replications: "ReplicationSummary", every: int = 8
+) -> str:
+    """Render a replication summary as mean ± std headlines plus band rows.
+
+    The headline block reports each scalar as ``mean ± std`` across
+    replications; the table samples every ``every``-th completion (plus the
+    first and last) of the cumulative queue-inclusive-regret and running
+    mean-slowdown curves with their 95% confidence bands.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    lines = [
+        f"replications: {replications.n_replications} seeds "
+        f"({replications.seeds[0]}..{replications.seeds[-1]}), "
+        f"{replications.n_rounds} workflows each"
+    ]
+    for key, (mean, std) in replications.summary().items():
+        lines.append(f"{key:<30} : {mean:.6g} ± {std:.6g}")
+    q_band = replications.band("queue_regret")
+    s_band = replications.band("slowdown")
+    n = replications.n_rounds
+    keep = [i for i in range(n) if (i + 1) % every == 0 or i == 0 or i == n - 1]
+    rows = []
+    for i in keep:
+        rows.append(
+            {
+                "round": i + 1,
+                "q_regret_mean": float(q_band["mean"][i]),
+                "q_regret_lo": float(q_band["lo"][i]),
+                "q_regret_hi": float(q_band["hi"][i]),
+                "slowdown_mean": float(s_band["mean"][i]),
+                "slowdown_lo": float(s_band["lo"][i]),
+                "slowdown_hi": float(s_band["hi"][i]),
+            }
+        )
+    table = format_metric_table(
+        rows,
+        title="per-round mean and 95% CI across replications "
+        "(cumulative queue-inclusive regret, running mean slowdown)",
+    )
+    return "\n".join(lines) + "\n\n" + table
 
 
 def format_histogram(

@@ -230,8 +230,10 @@ class RecommendationService:
         optional third element reports the workflow's capacity wait for
         applications in the queue-aware reward mode; the optional fourth is
         the observed/planned runtime ratio an interference-aware cluster
-        measured (audit trail only -- the recommender already learns the
-        inflation through the observed runtime itself).
+        measured, which shapes the learning signal for applications in the
+        ``slowdown_inclusive`` reward mode (and is recorded on the ticket
+        for auditing either way -- in the default mode the recommender
+        already learns the inflation through the observed runtime itself).
 
         Observations are fed to each application's recommender through
         :meth:`BanditWare.observe_batch` (one model refit per arm instead of
@@ -280,15 +282,16 @@ class RecommendationService:
                     )
             resolved.append((ticket, runtime, queue, slowdown))
         by_application: Dict[str, List[tuple]] = {}
-        for ticket, runtime, queue, slowdown in resolved:
-            by_application.setdefault(ticket.application, []).append((ticket, runtime, queue))
+        for entry in resolved:
+            by_application.setdefault(entry[0].application, []).append(entry)
         for application, batch in by_application.items():
             recommender = self.recommender_for(application)
             recommender.observe_batch(
-                [ticket.features for ticket, _, _ in batch],
-                [ticket.recommendation.hardware for ticket, _, _ in batch],
-                [runtime for _, runtime, _ in batch],
-                queues_seconds=[queue for _, _, queue in batch],
+                [ticket.features for ticket, _, _, _ in batch],
+                [ticket.recommendation.hardware for ticket, _, _, _ in batch],
+                [runtime for _, runtime, _, _ in batch],
+                queues_seconds=[queue for _, _, queue, _ in batch],
+                slowdowns=[slowdown for _, _, _, slowdown in batch],
             )
         for ticket, runtime, queue, slowdown in resolved:
             ticket.completed = True
@@ -321,7 +324,8 @@ class RecommendationService:
         it shapes the learning signal only for applications registered with
         the queue-aware reward mode.  ``slowdown`` optionally reports the
         observed/planned runtime ratio measured by an interference-aware
-        cluster (recorded on the ticket for auditing).
+        cluster; it shapes the signal only in the ``slowdown_inclusive``
+        reward mode (and is recorded on the ticket for auditing).
         """
         if ticket_id not in self._tickets:
             raise KeyError(f"unknown ticket {ticket_id!r}")
@@ -334,6 +338,7 @@ class RecommendationService:
             ticket.recommendation.hardware,
             runtime_seconds,
             queue_seconds=queue_seconds,
+            slowdown=slowdown,
         )
         ticket.completed = True
         ticket.observed_runtime = float(runtime_seconds)

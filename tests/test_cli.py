@@ -95,6 +95,64 @@ class TestRunContention:
             build_parser().parse_args(["run-contention", "--scenario", "imaginary"])
 
 
+class TestListScenarios:
+    def test_lists_the_whole_registry_with_descriptions(self):
+        from repro.evaluation import CONTENTION_SCENARIOS
+
+        code, output = run_cli("list-scenarios")
+        assert code == 0
+        for name in CONTENTION_SCENARIOS:
+            assert name in output
+        assert "spread-vs-pack" in output
+        assert "LinearSlowdown" in output  # the interference column
+        assert "single closed-loop tenant" in output  # a description line
+
+
+class TestRunContentionPlacement:
+    def test_placement_flag_changes_the_outcome(self):
+        packed_code, packed = run_cli(
+            "run-contention", "--scenario", "interference-heavy", "--placement", "pack"
+        )
+        aware_code, aware = run_cli(
+            "run-contention", "--scenario", "interference-heavy",
+            "--placement", "least-slowdown",
+        )
+        assert packed_code == aware_code == 0
+        assert "placement=pack" in packed
+        assert "placement=least-slowdown" in aware
+        assert "placement: pack" in packed
+        assert "placement: least-slowdown" in aware
+
+        def mean_slowdown(text):
+            for line in text.splitlines():
+                if line.startswith("mean_slowdown"):
+                    return float(line.split(":")[1])
+            raise AssertionError("no mean_slowdown line")
+
+        assert mean_slowdown(aware) < mean_slowdown(packed)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-contention", "--scenario", "light", "--placement", "random"]
+            )
+
+    def test_replications_append_confidence_bands(self):
+        code, output = run_cli(
+            "run-contention", "--scenario", "saturated", "--replications", "2"
+        )
+        assert code == 0
+        assert "replications: 2 seeds (0..1)" in output
+        assert "95% CI" in output
+
+    def test_replications_exclusive_with_sweep(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "run-contention", "--scenario", "saturated",
+                "--replications", "2", "--sweep-seeds", "2",
+            )
+
+
 class TestGenerateAndRecommend:
     def test_generate_dataset_writes_files(self, tmp_path):
         target = tmp_path / "cycles"

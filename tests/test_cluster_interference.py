@@ -313,6 +313,45 @@ class TestWorkConservation:
                 pod.finish_time - pod.start_time, abs=1e-6
             )
 
+    def test_preempted_and_restarted_pod_conserves_work_with_changing_co_residents(self):
+        """Directed preemption x interference case: the victim's final
+        attempt runs amid *different* co-residents than its first attempt,
+        and its progress integral must still equal the drawn work."""
+        sim = ClusterSimulator(
+            workload=_constant_workload({"small": 30.0, "big": 30.0}),
+            catalog=_CATALOG,
+            nodes=[Node("n", cpus=6, memory_gb=32)],
+            scheduler=PriorityScheduler(preemption=True),
+            seed=0,
+            interference=LinearSlowdown(1.3),
+        )
+        victim = sim.submit({"x": 0.0}, "big", at_time=0.0, priority=0)
+        # A small low-priority neighbour shares the first attempt...
+        neighbour = sim.submit({"x": 0.0}, "small", at_time=0.0, priority=0)
+        # ...then a high-priority big request evicts the victim mid-run.
+        preemptor = sim.submit({"x": 0.0}, "big", at_time=10.0, priority=10)
+        runs = sim.run_until_idle()
+        assert len(runs) == 3
+        assert victim.preemptions == 1
+        # The restart shared the node with a different mix (the preemptor
+        # finishes at a different time than the original neighbour), so the
+        # final attempt's rate changepoints differ from the first attempt's.
+        assert len(victim.progress_log) >= 2
+        # Work conservation across the restart: integrate the final
+        # attempt's piecewise-constant rate.
+        points = list(victim.progress_log) + [(victim.finish_time, 0.0)]
+        integral = sum((t1 - t0) * s for (t0, s), (t1, _) in zip(points, points[1:]))
+        assert integral == pytest.approx(victim.work_seconds, rel=1e-9)
+        assert victim.observed_runtime_seconds == pytest.approx(
+            victim.finish_time - victim.start_time, abs=1e-9
+        )
+        # The discarded first attempt is charged as waste, not progress.
+        assert victim.wasted_runtime_seconds > 0.0
+        (victim_run,) = [r for r in runs if r.pod_name == victim.name]
+        assert victim_run.preemptions == 1
+        assert victim_run.planned_runtime_seconds == victim.work_seconds
+        assert victim_run.record.runtime_seconds >= victim.work_seconds - 1e-9
+
 
 class TestProratedUtilisation:
     def test_base_node_busy_fraction_integrates_over_time(self):

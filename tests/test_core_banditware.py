@@ -340,3 +340,93 @@ class TestQueueAwareObservations:
         bandit = self._bandit()
         with pytest.raises(ValueError, match="queue delays"):
             bandit.observe_batch([{"x": 1.0}], ["H0"], [10.0], queues_seconds=[1.0, 2.0])
+
+
+class TestSlowdownAwareObservations:
+    """Opt-in slowdown-inclusive reward shaping: interference-penalised targets."""
+
+    def _bandit(self, reward=None):
+        from repro.core import GreedyPolicy
+
+        return BanditWare(
+            catalog=ndp_catalog(),
+            feature_names=["x"],
+            policy=GreedyPolicy(),
+            seed=0,
+            reward=reward,
+        )
+
+    def test_reward_config_validates_mode_and_weight(self):
+        from repro.core import RewardConfig
+
+        config = RewardConfig(mode="slowdown_inclusive", slowdown_weight=2.0)
+        assert config.slowdown_aware and not config.queue_aware
+        with pytest.raises(ValueError, match="slowdown_weight"):
+            RewardConfig(mode="slowdown_inclusive", slowdown_weight=-1.0)
+        with pytest.raises(ValueError, match="reward mode"):
+            RewardConfig(mode="interference")
+
+    def test_effective_runtime_charges_interference_seconds(self):
+        from repro.core import RewardConfig
+
+        config = RewardConfig(mode="slowdown_inclusive", slowdown_weight=1.0)
+        # observed 20s at slowdown 2.0 means 10s planned: charge 10s again.
+        assert config.effective_runtime(20.0, slowdown=2.0) == pytest.approx(30.0)
+        # half weight charges half the damage.
+        half = RewardConfig(mode="slowdown_inclusive", slowdown_weight=0.5)
+        assert half.effective_runtime(20.0, slowdown=2.0) == pytest.approx(25.0)
+        # no or unit slowdown adds nothing; runtime mode is bit-identical.
+        assert config.effective_runtime(20.0) == 20.0
+        assert config.effective_runtime(20.0, slowdown=1.0) == 20.0
+        assert RewardConfig().effective_runtime(20.0, slowdown=3.0) == 20.0
+
+    def test_invalid_slowdown_rejected_in_every_mode(self):
+        from repro.core import RewardConfig
+
+        for config in (RewardConfig(), RewardConfig(mode="slowdown_inclusive")):
+            with pytest.raises(ValueError, match="slowdown"):
+                config.effective_runtime(10.0, slowdown=0.0)
+            with pytest.raises(ValueError, match="slowdown"):
+                config.effective_runtime(10.0, slowdown=float("nan"))
+
+    def test_default_mode_ignores_slowdown(self):
+        plain = self._bandit()
+        plain.observe({"x": 1.0}, "H0", 10.0, slowdown=3.0)
+        plain.observe({"x": 2.0}, "H0", 20.0, slowdown=3.0)
+        assert plain.model_for("H0").predict(np.asarray([3.0])) == pytest.approx(30.0)
+        assert [rec.slowdown for rec in plain.history] == [3.0, 3.0]
+
+    def test_slowdown_inclusive_mode_inflates_training_target(self):
+        from repro.core import RewardConfig
+
+        bandit = self._bandit(reward=RewardConfig(mode="slowdown_inclusive"))
+        # observed 20/40 at slowdown 2.0: planned 10/20, targets 30/60 = 30x.
+        bandit.observe({"x": 1.0}, "H0", 20.0, slowdown=2.0)
+        bandit.observe({"x": 2.0}, "H0", 40.0, slowdown=2.0)
+        assert bandit.model_for("H0").predict(np.asarray([3.0])) == pytest.approx(90.0)
+        # The history keeps the raw decomposition.
+        assert [rec.runtime_seconds for rec in bandit.history] == [20.0, 40.0]
+        assert [rec.slowdown for rec in bandit.history] == [2.0, 2.0]
+
+    def test_observe_batch_matches_sequential(self):
+        from repro.core import RewardConfig
+
+        batched = self._bandit(reward=RewardConfig(mode="slowdown_inclusive"))
+        batched.observe_batch(
+            [{"x": 1.0}, {"x": 2.0}],
+            ["H0", "H0"],
+            [20.0, 40.0],
+            slowdowns=[2.0, None],
+        )
+        sequential = self._bandit(reward=RewardConfig(mode="slowdown_inclusive"))
+        sequential.observe({"x": 1.0}, "H0", 20.0, slowdown=2.0)
+        sequential.observe({"x": 2.0}, "H0", 40.0)
+        x = np.asarray([4.0])
+        assert batched.model_for("H0").predict(x) == pytest.approx(
+            sequential.model_for("H0").predict(x)
+        )
+
+    def test_observe_batch_slowdown_length_mismatch(self):
+        bandit = self._bandit()
+        with pytest.raises(ValueError, match="slowdowns"):
+            bandit.observe_batch([{"x": 1.0}], ["H0"], [10.0], slowdowns=[1.0, 2.0])

@@ -227,3 +227,76 @@ class TestRewardConfig:
         )
         assert blind.tenants["solo"].decisions == aware.tenants["solo"].decisions
         assert blind.tenants["solo"].runtimes == aware.tenants["solo"].runtimes
+
+
+class TestScenarioReplications:
+    """Engine-level replication of whole scenarios with confidence bands."""
+
+    def _summary(self, n=3, name="saturated", n_workers=1):
+        from repro.evaluation import run_scenario_replications
+
+        return run_scenario_replications(build_scenario(name, seed=0), n, n_workers=n_workers)
+
+    def test_curves_are_rectangular_and_seeded_consecutively(self):
+        summary = self._summary(3)
+        assert summary.n_replications == 3
+        assert summary.seeds == [0, 1, 2]
+        n_rounds = len(summary.results[0].rows)
+        assert summary.n_rounds == n_rounds
+        for matrix in (
+            summary.regret_curves,
+            summary.queue_regret_curves,
+            summary.interference_regret_curves,
+            summary.slowdown_curves,
+        ):
+            assert matrix.shape == (3, n_rounds)
+
+    def test_each_replication_matches_a_direct_run(self):
+        summary = self._summary(2)
+        for seed, result in zip(summary.seeds, summary.results):
+            direct = run_scenario(build_scenario("saturated", seed=seed))
+            assert result.summary() == direct.summary()
+
+    def test_band_mean_and_ci_are_consistent(self):
+        summary = self._summary(3)
+        band = summary.band("queue_regret")
+        manual = summary.queue_regret_curves.mean(axis=0)
+        assert np.allclose(band["mean"], manual)
+        assert np.all(band["lo"] <= band["mean"] + 1e-12)
+        assert np.all(band["hi"] >= band["mean"] - 1e-12)
+        # Final point of the mean curve equals the mean of the final
+        # queue-inclusive regrets.
+        finals = [r.summary()["queue_inclusive_regret"] for r in summary.results]
+        assert band["mean"][-1] == pytest.approx(float(np.mean(finals)))
+        with pytest.raises(KeyError):
+            summary.band("nonexistent")
+
+    def test_scalar_summary_reports_mean_and_std(self):
+        summary = self._summary(3)
+        scalars = summary.summary()
+        regrets = [r.summary()["cumulative_regret"] for r in summary.results]
+        mean, std = scalars["cumulative_regret"]
+        assert mean == pytest.approx(float(np.mean(regrets)))
+        assert std == pytest.approx(float(np.std(regrets, ddof=1)))
+
+    def test_parallel_replications_match_serial(self):
+        serial = self._summary(2)
+        parallel = self._summary(2, n_workers=2)
+        assert np.array_equal(serial.queue_regret_curves, parallel.queue_regret_curves)
+        assert np.array_equal(serial.slowdown_curves, parallel.slowdown_curves)
+
+    def test_report_surfaces_confidence_bands(self):
+        from repro.evaluation import format_contention_report
+
+        summary = self._summary(2)
+        text = format_contention_report(summary.results[0], replications=summary)
+        assert "replications: 2 seeds (0..1)" in text
+        assert "95% CI" in text
+        assert "q_regret_mean" in text
+        assert "±" in text
+
+    def test_rejects_bad_replication_count(self):
+        from repro.evaluation import run_scenario_replications
+
+        with pytest.raises(ValueError):
+            run_scenario_replications(build_scenario("saturated", seed=0), 0)

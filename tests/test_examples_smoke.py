@@ -22,7 +22,16 @@ EXAMPLES = [
     "contention_scenarios.py",
     "autoscale_priority.py",
     "interference_study.py",
+    "placement_study.py",
 ]
+
+
+def test_placement_study_shows_the_spread_saving(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "placement_study.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "least-slowdown cuts mean slowdown" in output
+    assert "io-noisy vs numa-quiet" in output
+    assert "slowdown-inclusive rewards" in output
 
 
 def test_interference_study_shows_inflation(capsys):

@@ -325,3 +325,52 @@ class TestQueueAwareServiceCompletions:
         else:
             # Single observation pins the intercept-free fit at 15x.
             assert arm_model.predict(np.asarray([1.0])) == pytest.approx(15.0)
+
+    def test_slowdown_aware_application_learns_from_inflation(self):
+        from repro.core import RewardConfig
+
+        service = self._service(
+            reward=RewardConfig(mode="slowdown_inclusive", slowdown_weight=1.0)
+        )
+        first = service.submit_workflow("app", {"x": 1.0})
+        second = service.submit_workflow("app", {"x": 2.0})
+        hardware = first.recommendation.hardware.name
+        # Quadruples: observed 20/40 at slowdown 2.0 -> planned 10/20, so
+        # the slowdown-inclusive training target is 30x.
+        service.complete_workflows(
+            [(first.ticket_id, 20.0, 0.0, 2.0), (second.ticket_id, 40.0, 0.0, 2.0)]
+        )
+        recommender = service.recommender_for("app")
+        arm_model = recommender.model_for(hardware)
+        if second.recommendation.hardware.name == hardware:
+            assert arm_model.predict(np.asarray([3.0])) == pytest.approx(90.0)
+        else:
+            assert arm_model.predict(np.asarray([1.0])) == pytest.approx(30.0)
+        # The audit trail still records the raw observation.
+        assert service.ticket(first.ticket_id).observed_runtime == 20.0
+        assert service.ticket(first.ticket_id).observed_slowdown == 2.0
+        assert [rec.slowdown for rec in recommender.history] == [2.0, 2.0]
+
+    def test_single_completion_matches_batch_for_slowdown_mode(self):
+        from repro.core import RewardConfig
+
+        batch_service = self._service(
+            reward=RewardConfig(mode="slowdown_inclusive", slowdown_weight=1.0)
+        )
+        single_service = self._service(
+            reward=RewardConfig(mode="slowdown_inclusive", slowdown_weight=1.0)
+        )
+        b1 = batch_service.submit_workflow("app", {"x": 1.0})
+        b2 = batch_service.submit_workflow("app", {"x": 2.0})
+        s1 = single_service.submit_workflow("app", {"x": 1.0})
+        s2 = single_service.submit_workflow("app", {"x": 2.0})
+        batch_service.complete_workflows(
+            [(b1.ticket_id, 20.0, 0.0, 2.0), (b2.ticket_id, 40.0, 0.0, 1.6)]
+        )
+        single_service.complete_workflow(s1.ticket_id, 20.0, 0.0, 2.0)
+        single_service.complete_workflow(s2.ticket_id, 40.0, 0.0, 1.6)
+        x = np.asarray([3.0])
+        for hw in ("H0", "H1", "H2"):
+            assert batch_service.recommender_for("app").model_for(hw).predict(
+                x
+            ) == pytest.approx(single_service.recommender_for("app").model_for(hw).predict(x))
