@@ -13,6 +13,13 @@ Three benchmarks live here:
   speed), recording the slowdown statistics, the progress-engine event
   overhead, and an exact NoInterference-parity check against the
   fixed-finish reference numbers.
+* ``run_kernel_bench`` -- the array-kernel benchmark (``BENCH_kernel.json``):
+  asserts that the structure-of-arrays simulator kernel reproduces every
+  registered scenario's seed-0 summary **bit for bit** against the
+  pre-refactor reference (``kernel_parity_reference.json``), then times the
+  interference-heavy replication sweep and two co-residency stress runs
+  against pre-refactor wall-clock baselines (``kernel_baseline.json``),
+  recording the measured speedup factors either way.
 * ``run_placement_bench`` -- the placement-suite benchmark
   (``BENCH_placement.json``): the interference scenarios are replayed under
   each placement policy (first-fit, best-fit, spread, pack,
@@ -81,6 +88,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_eval.json"
 DEFAULT_CONTENTION_OUTPUT = REPO_ROOT / "BENCH_contention.json"
 DEFAULT_INTERFERENCE_OUTPUT = REPO_ROOT / "BENCH_interference.json"
 DEFAULT_PLACEMENT_OUTPUT = REPO_ROOT / "BENCH_placement.json"
+DEFAULT_KERNEL_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
 
 
 class _SeedOLS(ArmModel):
@@ -514,6 +522,150 @@ def run_placement_bench(
     return report
 
 
+def _kernel_stress(n_pods: int, node_cpus: int, node_memory_gb: float, profile: bool = False):
+    """The kernel stress workload: one fat node, every pod co-resident.
+
+    This must mirror ``kernel_baseline.json`` exactly -- the baseline
+    seconds were measured on this workload at the pre-refactor commit.
+    ``n_pods`` identical-shaped pods (2 CPUs / 8 GiB each) arrive one per
+    second on a node big enough to run them all side by side under
+    ``LinearSlowdown``, so every arrival and finish reschedules every
+    resident: the worst case for per-topology-change interference
+    evaluation and progress re-integration.
+    """
+    from repro.cluster.interference import LinearSlowdown
+    from repro.cluster.node import Node
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.hardware import HardwareCatalog, HardwareConfig
+    from repro.workloads import LinearRuntimeWorkload
+
+    catalog = HardwareCatalog([HardwareConfig("s", cpus=2, memory_gb=8)])
+    workload = LinearRuntimeWorkload(
+        feature_ranges={"size": (1.0, 8.0)},
+        coefficients={"s": ({"size": 100.0}, 50.0)},
+        noise_sigma=0.0,
+        name="stress",
+    )
+    sim = ClusterSimulator(
+        nodes=[Node("fat", cpus=node_cpus, memory_gb=node_memory_gb)],
+        catalog=catalog,
+        workload=workload,
+        seed=0,
+        interference=LinearSlowdown(alpha=0.5),
+    )
+    kernel_profile = sim.enable_profiling() if profile else None
+    for i in range(n_pods):
+        sim.submit({"size": 1.0 + (i % 7)}, "s", at_time=float(i))
+    sim.run_until_idle()
+    return kernel_profile
+
+
+def run_kernel_bench(
+    repeats: int = 3,
+    output: Optional[os.PathLike] = DEFAULT_KERNEL_OUTPUT,
+) -> Dict:
+    """Benchmark the array kernel and pin its bit-identical parity.
+
+    Two things are asserted (CI runs this suite in smoke mode):
+
+    * **kernel parity** -- every registered contention scenario's seed-0
+      summary matches ``kernel_parity_reference.json`` (captured at the
+      pre-refactor commit) *exactly*: the structure-of-arrays kernel is a
+      pure representation change, never a semantic one;
+    * **kernel throughput floor** -- the co-residency stress runs at least
+      2x faster than the pre-refactor engine (a loose regression guard; the
+      measured factors are recorded verbatim in the report, whatever they
+      are).
+    """
+    from repro.evaluation.contention import CONTENTION_SCENARIOS, build_scenario, run_scenario
+    from repro.evaluation.engine import run_scenario_replications
+
+    bench_dir = Path(__file__).resolve().parent
+    reference = json.loads((bench_dir / "kernel_parity_reference.json").read_text())
+    baseline = json.loads((bench_dir / "kernel_baseline.json").read_text())
+
+    parity_drift: Dict[str, Dict] = {}
+    for name in sorted(CONTENTION_SCENARIOS):
+        summary = run_scenario(build_scenario(name, seed=0)).summary()
+        pinned = reference[name]
+        drift = {
+            key: {"reference": value, "observed": summary.get(key)}
+            for key, value in pinned.items()
+            if summary.get(key) != value
+        }
+        if drift:
+            parity_drift[name] = drift
+    parity_exact = not parity_drift
+
+    sweep_cfg = baseline["replication_sweep"]
+    sweep_scenario = build_scenario(sweep_cfg["scenario"], seed=0)
+    sweep_seconds = _time_best(
+        lambda: run_scenario_replications(
+            sweep_scenario, sweep_cfg["n_replications"], n_workers=1
+        ),
+        repeats,
+    )
+
+    stresses: Dict[str, Dict] = {}
+    for key in ("kernel_stress", "kernel_stress_512"):
+        cfg = baseline[key]
+        seconds = _time_best(
+            lambda: _kernel_stress(
+                cfg["n_pods"], cfg["node"]["cpus"], cfg["node"]["memory_gb"]
+            ),
+            repeats,
+        )
+        stresses[key] = {
+            "n_pods": cfg["n_pods"],
+            "node": dict(cfg["node"]),
+            "seconds": seconds,
+            "baseline_seconds": cfg["seconds"],
+            "speedup_vs_pre_refactor": cfg["seconds"] / seconds,
+        }
+
+    # One profiled stress run: where the remaining kernel time goes.
+    profile = _kernel_stress(
+        baseline["kernel_stress"]["n_pods"],
+        baseline["kernel_stress"]["node"]["cpus"],
+        baseline["kernel_stress"]["node"]["memory_gb"],
+        profile=True,
+    )
+
+    report = {
+        "benchmark": "array_kernel",
+        "cpu_count": os.cpu_count(),
+        "baseline_commit": baseline["captured_at_commit"],
+        "kernel_parity_exact": parity_exact,
+        "kernel_parity_drift": parity_drift,
+        "scenarios_pinned": len(reference),
+        "replication_sweep": {
+            "scenario": sweep_cfg["scenario"],
+            "n_replications": sweep_cfg["n_replications"],
+            "seconds": sweep_seconds,
+            "baseline_seconds": sweep_cfg["seconds"],
+            "speedup_vs_pre_refactor": sweep_cfg["seconds"] / sweep_seconds,
+        },
+        "stress": stresses,
+        "stress_profile": profile.as_dict() if profile else None,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    if not parity_exact:
+        raise AssertionError(
+            "array-kernel parity drift: the SoA kernel no longer reproduces "
+            f"the pre-refactor scenario summaries exactly ({parity_drift})"
+        )
+    floor = 2.0
+    for key, stress in stresses.items():
+        if stress["speedup_vs_pre_refactor"] < floor:
+            raise AssertionError(
+                f"kernel throughput regression: {key} runs only "
+                f"{stress['speedup_vs_pre_refactor']:.2f}x faster than the "
+                f"pre-refactor engine (floor: {floor}x)"
+            )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=50)
@@ -543,8 +695,13 @@ def main(argv=None) -> int:
         help="seeds per policy in the placement suite (smoke mode: keep at 3, --repeats 1)",
     )
     parser.add_argument(
+        "--kernel-output",
+        default=str(DEFAULT_KERNEL_OUTPUT),
+        help="where the array-kernel report lands",
+    )
+    parser.add_argument(
         "--suite",
-        choices=["engine", "contention", "interference", "placement", "all"],
+        choices=["engine", "contention", "interference", "placement", "kernel", "all"],
         default="all",
         help="which benchmark(s) to run",
     )
@@ -581,6 +738,13 @@ def main(argv=None) -> int:
                 seeds=args.placement_seeds,
                 repeats=args.repeats,
                 output=args.placement_output,
+            )
+        )
+    if args.suite in ("kernel", "all"):
+        reports.append(
+            run_kernel_bench(
+                repeats=args.repeats,
+                output=args.kernel_output,
             )
         )
     for report in reports:

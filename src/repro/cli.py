@@ -45,6 +45,7 @@ from repro.evaluation import (
     build_experiment,
     build_scenario,
     format_contention_report,
+    format_kernel_profile,
     format_metric_table,
     format_series,
     format_summary,
@@ -159,6 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
             "replicate the scenario over N consecutive seeds and append "
             "per-round mean ± 95%% CI confidence bands to the report "
             "(mutually exclusive with --sweep-seeds)"
+        ),
+    )
+    contention.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "append the simulator kernel's wall-time breakdown (progress "
+            "re-integration, scheduling passes, placement scoring) to the "
+            "report; scenario outputs are unaffected (single runs only)"
         ),
     )
 
@@ -336,8 +346,11 @@ def _cmd_run_contention(args, out) -> int:
         )
         print(format_contention_report(summary.results[0], replications=summary), file=out)
         return 0
-    result = run_scenario(scenario)
+    result = run_scenario(scenario, profile=args.profile)
     print(format_contention_report(result), file=out)
+    if args.profile and result.kernel_profile is not None:
+        print("", file=out)
+        print(format_kernel_profile(result.kernel_profile), file=out)
     if args.rows > 0:
         print("", file=out)
         print(

@@ -28,6 +28,11 @@ Components:
   (:class:`NoInterference`, :class:`LinearSlowdown`,
   :class:`CapacityContention`): co-located pods slow each other's progress
   rate down.
+* :mod:`~repro.cluster.state` -- the array kernel: :class:`ClusterState`
+  holds every pod's and node's hot runtime scalars in flat
+  structure-of-arrays storage, and :class:`KernelProfile` accounts where
+  simulation wall-time goes.  :class:`Pod` and :class:`Node` remain thin
+  object facades over these arrays.
 * :mod:`~repro.cluster.simulator` -- :class:`ClusterSimulator`, which ties the
   pieces together and exposes the ``submit → run → observe runtime`` loop the
   online recommender drives.  Execution is progress-based: pods advance at
@@ -65,6 +70,7 @@ from repro.cluster.scheduler import (
     SchedulingDecision,
 )
 from repro.cluster.simulator import ClusterSimulator, CompletedRun
+from repro.cluster.state import ClusterState, KernelProfile
 
 __all__ = [
     "Event",
@@ -96,4 +102,6 @@ __all__ = [
     "ScaleEvent",
     "ClusterSimulator",
     "CompletedRun",
+    "ClusterState",
+    "KernelProfile",
 ]

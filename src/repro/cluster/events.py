@@ -4,15 +4,18 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(frozen=True)
 class Event:
     """A timestamped event.
+
+    A plain ``__slots__`` class rather than a dataclass: the simulator
+    creates one per scheduled finish (hundreds of thousands per busy run),
+    and construction cost is pure event-machinery overhead.  Treat
+    instances as immutable.
 
     Attributes
     ----------
@@ -27,14 +30,27 @@ class Event:
         times are processed in insertion order.
     """
 
-    time: float
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    seq: int = -1
+    __slots__ = ("time", "kind", "payload", "seq")
 
-    def __post_init__(self) -> None:
-        if self.time < 0:
-            raise ValueError(f"event time must be non-negative, got {self.time}")
+    def __init__(
+        self,
+        time: float,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        seq: int = -1,
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = time
+        self.kind = kind
+        self.payload = {} if payload is None else payload
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Event(time={self.time!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, seq={self.seq})"
+        )
 
 
 class EventQueue:
@@ -63,7 +79,8 @@ class EventQueue:
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
         seq = next(self._counter)
-        event = Event(time=float(time), kind=kind, payload=dict(payload), seq=seq)
+        # ``payload`` is the fresh kwargs dict -- no defensive copy needed.
+        event = Event(float(time), kind, payload, seq)
         heapq.heappush(self._heap, (event.time, seq, event))
         return event
 

@@ -32,17 +32,51 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod
+
+#: Pre-extracted resident requests for the batched path: ``(cpus, memory_gb,
+#: gpus)`` arrays aligned with the pod sequence, gathered from the cluster's
+#: flat state so batched evaluation needs no per-pod attribute walks.
+RequestArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 __all__ = [
     "InterferenceModel",
     "NoInterference",
     "LinearSlowdown",
     "CapacityContention",
+    "uses_batched_speeds",
 ]
+
+
+def uses_batched_speeds(model: "InterferenceModel") -> bool:
+    """Whether ``model.node_speeds`` may be dispatched instead of ``speed``.
+
+    Batched dispatch is only sound when the class providing ``node_speeds``
+    is at least as derived as the class providing ``speed``: a subclass of a
+    built-in model that overrides ``speed()`` alone would otherwise inherit
+    the built-in's closed-form ``node_speeds`` and have its override
+    silently ignored.  Such models (and models that never override
+    ``node_speeds``) keep the per-pod scalar call pattern verbatim via
+    ``InterferenceModel.node_speeds``.
+    """
+    cls = type(model)
+    speed_owner = None
+    node_speeds_owner = None
+    for klass in cls.__mro__:
+        if speed_owner is None and "speed" in vars(klass):
+            speed_owner = klass
+        if node_speeds_owner is None and "node_speeds" in vars(klass):
+            node_speeds_owner = klass
+    return (
+        node_speeds_owner is not None
+        and node_speeds_owner is not InterferenceModel
+        and (speed_owner is None or issubclass(node_speeds_owner, speed_owner))
+    )
 
 
 def _co_resident_utilisation(node: Node, co_residents: Sequence[Pod]) -> float:
@@ -62,6 +96,14 @@ def _co_resident_utilisation(node: Node, co_residents: Sequence[Pod]) -> float:
     return max(fractions)
 
 
+def _request_arrays(pods: Sequence[Pod]) -> RequestArrays:
+    """Extract request arrays from pod objects (fallback when no state)."""
+    cpus = np.array([p.request.cpus for p in pods], dtype=np.int64)
+    mem = np.array([p.request.memory_gb for p in pods], dtype=np.float64)
+    gpus = np.array([p.request.gpus for p in pods], dtype=np.int64)
+    return cpus, mem, gpus
+
+
 class InterferenceModel(abc.ABC):
     """How co-located pods perturb each other's progress rate."""
 
@@ -75,6 +117,34 @@ class InterferenceModel(abc.ABC):
         ``co_residents`` is empty.
         """
 
+    def node_speeds(
+        self,
+        node: Node,
+        pods: Sequence[Pod],
+        requests: Optional[RequestArrays] = None,
+    ) -> np.ndarray:
+        """Progress rates of **all** of a node's residents at once.
+
+        The array kernel's batched entry point: one call per topology
+        change replaces k per-pod :meth:`speed` calls (each of which
+        rebuilt a k-1 co-resident list).  The default implementation falls
+        back to the per-pod loop so custom third-party models keep working
+        unchanged; the built-in models override it with closed-form array
+        math that reproduces the scalar path bit for bit on the
+        integer-valued requests every catalog uses.
+
+        ``requests`` optionally carries the residents' pre-extracted
+        ``(cpus, memory_gb, gpus)`` arrays (from
+        :meth:`~repro.cluster.state.ClusterState.resident_requests`);
+        models that only need request totals can then skip touching the pod
+        objects entirely.
+        """
+        speeds = np.empty(len(pods), dtype=np.float64)
+        for i, pod in enumerate(pods):
+            others = [p for p in pods if p is not pod]
+            speeds[i] = self.speed(pod, node, others)
+        return speeds
+
 
 @dataclass(frozen=True)
 class NoInterference(InterferenceModel):
@@ -86,6 +156,14 @@ class NoInterference(InterferenceModel):
 
     def speed(self, pod: Pod, node: Node, co_residents: Sequence[Pod]) -> float:
         return 1.0
+
+    def node_speeds(
+        self,
+        node: Node,
+        pods: Sequence[Pod],
+        requests: Optional[RequestArrays] = None,
+    ) -> np.ndarray:
+        return np.ones(len(pods), dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -155,6 +233,35 @@ class LinearSlowdown(InterferenceModel):
             1.0 + self.node_alpha(node) * _co_resident_utilisation(node, co_residents)
         )
 
+    def node_speeds(
+        self,
+        node: Node,
+        pods: Sequence[Pod],
+        requests: Optional[RequestArrays] = None,
+    ) -> np.ndarray:
+        """Batched form of :meth:`speed` for every resident of ``node``.
+
+        Each pod's co-resident total is the node total minus its own
+        request (exact for the integer-valued requests catalogs use, which
+        is what makes this bit-identical to the sequential per-pod sums of
+        the scalar path); the bottleneck fraction and the linear slowdown
+        are then one elementwise expression.
+        """
+        k = len(pods)
+        if k == 0:
+            return np.empty(0, dtype=np.float64)
+        cpus, mem, gpus = requests if requests is not None else _request_arrays(pods)
+        if k == 1:
+            # Solo pods short-circuit to exactly 1.0, mirroring the scalar
+            # path's u = 0 -> 1/(1 + a*0) == 1.0.
+            return np.ones(1, dtype=np.float64)
+        co_cpus = (int(cpus.sum()) - cpus) / node.cpus
+        co_mem = (float(mem.sum()) - mem) / node.memory_gb
+        u = np.maximum(co_cpus, co_mem)
+        if node.gpus:
+            u = np.maximum(u, (int(gpus.sum()) - gpus) / node.gpus)
+        return 1.0 / (1.0 + self.node_alpha(node) * u)
+
 
 @dataclass(frozen=True)
 class CapacityContention(InterferenceModel):
@@ -209,3 +316,33 @@ class CapacityContention(InterferenceModel):
             if capacity and total:
                 factors.append(min(1.0, (fraction * capacity) / total))
         return min(factors) if factors else 1.0
+
+    def node_speeds(
+        self,
+        node: Node,
+        pods: Sequence[Pod],
+        requests: Optional[RequestArrays] = None,
+    ) -> np.ndarray:
+        """Batched form of :meth:`speed` for every resident of ``node``.
+
+        The throttle depends only on the node-wide allocation totals
+        (which include the pod itself), so all k residents share one
+        speed: compute it once, broadcast, done -- versus the scalar
+        path's k re-summations of the same totals.
+        """
+        k = len(pods)
+        if k == 0:
+            return np.empty(0, dtype=np.float64)
+        if k == 1:
+            return np.ones(1, dtype=np.float64)
+        cpus, mem, gpus = requests if requests is not None else _request_arrays(pods)
+        factors = []
+        for capacity, fraction, total in (
+            (node.cpus, self.cpu_fraction, int(cpus.sum())),
+            (node.memory_gb, self.memory_fraction, float(mem.sum())),
+            (node.gpus, self.gpu_fraction, int(gpus.sum())),
+        ):
+            if capacity and total:
+                factors.append(min(1.0, (fraction * capacity) / total))
+        shared = min(factors) if factors else 1.0
+        return np.full(k, shared, dtype=np.float64)

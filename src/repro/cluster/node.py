@@ -1,4 +1,15 @@
-"""Cluster nodes with resource-capacity accounting."""
+"""Cluster nodes with resource-capacity accounting.
+
+:class:`Node` is a *facade* since the array-kernel refactor: allocation
+totals are maintained incrementally (the pre-refactor properties re-summed
+the allocation dict on every read, which dominated the simulator's
+feasibility checks), and a node adopted by a
+:class:`~repro.cluster.state.ClusterState` additionally mirrors its totals
+into the state's flat per-node arrays so placement and interference
+evaluation can gather them in batch.  The public surface is unchanged;
+standalone nodes (tests, probes, autoscaler deficit bins) never touch the
+array store.
+"""
 
 from __future__ import annotations
 
@@ -58,31 +69,49 @@ class Node:
         self.labels = dict(labels or {})
         self.interference_class = str(interference_class)
         self._allocations: Dict[str, HardwareConfig] = {}
+        # Incremental allocation totals: exact for the integer-valued
+        # requests every catalog uses, and O(1) to read where the old
+        # properties re-summed the dict on every access.
+        self._alloc_cpus = 0
+        self._alloc_memory_gb = 0.0
+        self._alloc_gpus = 0
+        # Array-kernel binding (None/-1 while unbound).
+        self._state = None
+        self._slot = -1
+
+    def _bind(self, state, slot: int) -> None:
+        """Adopt this node into ``state`` (called by ``ClusterState``)."""
+        self._state = state
+        self._slot = slot
+
+    def _unbind(self) -> None:
+        self._state = None
+        self._slot = -1
 
     # ------------------------------------------------------------------ #
     @property
     def allocated_cpus(self) -> int:
-        return sum(cfg.cpus for cfg in self._allocations.values())
+        return self._alloc_cpus
 
     @property
     def allocated_memory_gb(self) -> float:
-        return sum(cfg.memory_gb for cfg in self._allocations.values())
+        return self._alloc_memory_gb
 
     @property
     def allocated_gpus(self) -> int:
-        return sum(cfg.gpus for cfg in self._allocations.values())
+        return self._alloc_gpus
 
     @property
     def free_cpus(self) -> int:
-        return self.cpus - self.allocated_cpus
+        return self.cpus - self._alloc_cpus
 
     @property
     def free_memory_gb(self) -> float:
-        return self.memory_gb - self.allocated_memory_gb
+        return self.memory_gb - self._alloc_memory_gb
 
     @property
     def free_gpus(self) -> int:
-        return self.gpus - self.allocated_gpus
+        return self.gpus - self._alloc_gpus
 
     @property
     def allocations(self) -> Dict[str, HardwareConfig]:
@@ -92,18 +121,18 @@ class Node:
     def utilisation(self) -> Dict[str, float]:
         """Fractional utilisation of each resource dimension."""
         return {
-            "cpus": self.allocated_cpus / self.cpus,
-            "memory_gb": self.allocated_memory_gb / self.memory_gb,
-            "gpus": (self.allocated_gpus / self.gpus) if self.gpus else 0.0,
+            "cpus": self._alloc_cpus / self.cpus,
+            "memory_gb": self._alloc_memory_gb / self.memory_gb,
+            "gpus": (self._alloc_gpus / self.gpus) if self.gpus else 0.0,
         }
 
     # ------------------------------------------------------------------ #
     def fits(self, request: HardwareConfig) -> bool:
         """Whether ``request`` fits in the node's *free* capacity."""
         return (
-            request.cpus <= self.free_cpus
-            and request.memory_gb <= self.free_memory_gb
-            and request.gpus <= self.free_gpus
+            request.cpus <= self.cpus - self._alloc_cpus
+            and request.memory_gb <= self.memory_gb - self._alloc_memory_gb
+            and request.gpus <= self.gpus - self._alloc_gpus
         )
 
     def allocate(self, pod_name: str, request: HardwareConfig) -> None:
@@ -124,13 +153,21 @@ class Node:
                 f"(free: {self.free_cpus} CPU, {self.free_memory_gb:g} GiB, {self.free_gpus} GPU)"
             )
         self._allocations[pod_name] = request
+        self._alloc_cpus += request.cpus
+        self._alloc_memory_gb += request.memory_gb
+        self._alloc_gpus += request.gpus
+        if self._state is not None:
+            self._state.on_allocate(
+                self._slot, pod_name, request.cpus, request.memory_gb, request.gpus
+            )
 
     def clone(self) -> "Node":
         """An unallocated copy of this node (same capacity and labels).
 
         Used wherever pristine capacity matters -- feasibility probes and
         fresh per-run clusters -- so capacity fields added to ``Node`` later
-        cannot silently be dropped by ad-hoc copy sites.
+        cannot silently be dropped by ad-hoc copy sites.  Clones are always
+        unbound, whatever the original was.
         """
         return Node(
             self.name,
@@ -145,7 +182,20 @@ class Node:
         """Release the allocation held by ``pod_name`` and return it."""
         if pod_name not in self._allocations:
             raise KeyError(f"pod {pod_name!r} holds no allocation on node {self.name!r}")
-        return self._allocations.pop(pod_name)
+        request = self._allocations.pop(pod_name)
+        self._alloc_cpus -= request.cpus
+        self._alloc_memory_gb -= request.memory_gb
+        self._alloc_gpus -= request.gpus
+        if self._state is not None:
+            self._state.on_release(
+                self._slot, pod_name, request.cpus, request.memory_gb, request.gpus
+            )
+        return request
+
+    @property
+    def resident_pods(self) -> List[str]:
+        """Names of pods currently allocated, in allocation order."""
+        return list(self._allocations)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

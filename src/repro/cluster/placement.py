@@ -33,7 +33,11 @@ import abc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Sequence
 
-from repro.cluster.interference import InterferenceModel, NoInterference
+from repro.cluster.interference import (  # noqa: F401
+    InterferenceModel,
+    NoInterference,
+    uses_batched_speeds,
+)
 from repro.cluster.node import Node
 from repro.cluster.pod import Pod
 
@@ -263,16 +267,33 @@ class LeastSlowdown(PlacementPolicy):
     ) -> Optional[Node]:
         context = context if context is not None else PlacementContext()
         model = context.interference
+        # Built-in models override node_speeds with closed-form array math:
+        # one batched call scores a node's whole hypothetical resident set.
+        # Custom models that only implement speed() -- including subclasses
+        # of the built-ins that override speed() alone -- keep the scalar
+        # loop verbatim, preserving their exact call pattern (and
+        # co-resident ordering) from before the array kernel.
+        batched = uses_batched_speeds(model)
         best: Optional[Node] = None
         best_key = None
         for index, node in enumerate(nodes):
             if not node.fits(pod.request):
                 continue
             residents = list(context.residents(node))
-            cost = 1.0 / model.speed(pod, node, residents) - 1.0
-            for i, resident in enumerate(residents):
-                others = residents[:i] + residents[i + 1 :] + [pod]
-                cost += 1.0 / model.speed(resident, node, others) - 1.0
+            if batched:
+                speeds = model.node_speeds(node, [pod, *residents])
+                # Accumulate the excess slowdown sequentially in the same
+                # order as the scalar loop (pod first, then residents), so
+                # the float sum -- and therefore every tie-break -- is
+                # bit-identical to the pre-kernel policy.
+                cost = 0.0
+                for s in speeds.tolist():
+                    cost += 1.0 / s - 1.0
+            else:
+                cost = 1.0 / model.speed(pod, node, residents) - 1.0
+                for i, resident in enumerate(residents):
+                    others = residents[:i] + residents[i + 1 :] + [pod]
+                    cost += 1.0 / model.speed(resident, node, others) - 1.0
             key = (cost, index)
             if best_key is None or key < best_key:
                 best, best_key = node, key

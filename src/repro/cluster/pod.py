@@ -1,9 +1,19 @@
-"""Pods: one workload run bound to a hardware (resource) request."""
+"""Pods: one workload run bound to a hardware (resource) request.
+
+:class:`Pod` is a *facade* since the array-kernel refactor: a pod
+constructed directly (tests, examples, probes) stores its state in plain
+attributes and behaves exactly as the pre-refactor dataclass did; a pod
+adopted by a :class:`~repro.cluster.state.ClusterState` (which the
+simulator does at submission) keeps its hot numeric fields -- work,
+progress, speed, wall-clock accumulators -- in the state's flat arrays so
+the simulator can batch-update thousands of pods without attribute-walking
+Python objects.  The public surface (constructor signature, attributes,
+methods) is unchanged either way.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.hardware import HardwareConfig
@@ -20,7 +30,37 @@ class PodPhase(str, enum.Enum):
     FAILED = "Failed"
 
 
-@dataclass
+_PHASE_CODES = {
+    PodPhase.PENDING: 0,
+    PodPhase.RUNNING: 1,
+    PodPhase.SUCCEEDED: 2,
+    PodPhase.FAILED: 3,
+}
+
+
+def _hot(local_name: str, array_name: str):
+    """An array-backed-when-bound float property (``None`` <-> ``NaN``)."""
+
+    def getter(self):
+        state = self._state
+        if state is None:
+            return getattr(self, local_name)
+        value = getattr(state, array_name)[self._index]
+        # NaN encodes None; NaN != NaN makes the check branch-free.
+        return None if value != value else float(value)
+
+    def setter(self, value):
+        state = self._state
+        if state is None:
+            object.__setattr__(self, local_name, value)
+        else:
+            getattr(state, array_name)[self._index] = (
+                float("nan") if value is None else value
+            )
+
+    return property(getter, setter)
+
+
 class Pod:
     """A scheduled unit of work.
 
@@ -70,37 +110,102 @@ class Pod:
         interference; inflated when co-residents slowed the pod down.
     """
 
-    name: str
-    request: HardwareConfig
-    features: Dict[str, float] = field(default_factory=dict)
-    application: str = "unknown"
-    priority: int = 0
-    submit_time: Optional[float] = None
-    start_time: Optional[float] = None
-    finish_time: Optional[float] = None
-    node: Optional[str] = None
-    phase: PodPhase = PodPhase.PENDING
-    preemptions: int = 0
-    wasted_runtime_seconds: float = 0.0
-    work_seconds: Optional[float] = None
-    progress_seconds: float = 0.0
-    speed: Optional[float] = None
-    observed_runtime_seconds: Optional[float] = None
-    metadata: Dict[str, Any] = field(default_factory=dict)
-    #: wall seconds of the current attempt accumulated at re-integration
-    #: points (progress-rate changes); the remainder to the tentative finish
-    #: is carried separately so an uninterrupted run reports its drawn
-    #: runtime exactly (no ``finish - start`` bit loss on a large clock)
-    _running_wall_seconds: float = field(default=0.0, repr=False)
-    #: simulation time progress was last integrated to (None while pending)
-    _progress_updated_at: Optional[float] = field(default=None, repr=False)
-    #: ``(time, speed)`` changepoints of the current attempt; the work
-    #: conservation property test integrates this piecewise-constant rate
-    progress_log: list = field(default_factory=list, repr=False)
-    #: accumulated time spent waiting for capacity (all pending stretches)
-    _waited_seconds: float = field(default=0.0, repr=False)
-    #: when the current pending stretch began (None while running/terminal)
-    _queued_since: Optional[float] = field(default=None, repr=False)
+    def __init__(
+        self,
+        name: str,
+        request: HardwareConfig,
+        features: Optional[Dict[str, float]] = None,
+        application: str = "unknown",
+        priority: int = 0,
+        submit_time: Optional[float] = None,
+        start_time: Optional[float] = None,
+        finish_time: Optional[float] = None,
+        node: Optional[str] = None,
+        phase: PodPhase = PodPhase.PENDING,
+        preemptions: int = 0,
+        wasted_runtime_seconds: float = 0.0,
+        work_seconds: Optional[float] = None,
+        progress_seconds: float = 0.0,
+        speed: Optional[float] = None,
+        observed_runtime_seconds: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        # Facade plumbing must exist before any hot-property assignment.
+        self._state = None
+        self._index = -1
+        self.name = name
+        self.request = request
+        self.features = {} if features is None else features
+        self.application = application
+        self.priority = priority
+        self.submit_time = submit_time
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self._node = node
+        self._phase = phase
+        self.preemptions = preemptions
+        self.wasted_runtime_seconds = wasted_runtime_seconds
+        self.work_seconds = work_seconds
+        self.progress_seconds = progress_seconds
+        self.speed = speed
+        self.observed_runtime_seconds = observed_runtime_seconds
+        self.metadata = {} if metadata is None else metadata
+        #: wall seconds of the current attempt accumulated at re-integration
+        #: points (progress-rate changes); the remainder to the tentative
+        #: finish is carried separately so an uninterrupted run reports its
+        #: drawn runtime exactly (no ``finish - start`` bit loss on a large
+        #: clock)
+        self._running_wall_seconds = 0.0
+        #: simulation time progress was last integrated to (None while pending)
+        self._progress_updated_at = None
+        #: ``(time, speed)`` changepoints of the current attempt; the work
+        #: conservation property test integrates this piecewise-constant rate
+        self.progress_log: list = []
+        #: accumulated time spent waiting for capacity (all pending stretches)
+        self._waited_seconds = 0.0
+        #: when the current pending stretch began (None while running/terminal)
+        self._queued_since: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Array-backed hot fields (plain attributes until the simulator adopts
+    # the pod into a ClusterState)
+    # ------------------------------------------------------------------ #
+    work_seconds = _hot("_local_work", "work")
+    progress_seconds = _hot("_local_progress", "progress")
+    speed = _hot("_local_speed", "speed")
+    _running_wall_seconds = _hot("_local_running_wall", "running_wall")
+    _progress_updated_at = _hot("_local_updated_at", "updated_at")
+
+    @property
+    def phase(self) -> PodPhase:
+        return self._phase
+
+    @phase.setter
+    def phase(self, value: PodPhase) -> None:
+        self._phase = value
+        if self._state is not None:
+            self._state.status[self._index] = _PHASE_CODES[value]
+
+    @property
+    def node(self) -> Optional[str]:
+        return self._node
+
+    @node.setter
+    def node(self, value: Optional[str]) -> None:
+        self._node = value
+        if self._state is not None:
+            slot = -1 if value is None else self._state.node_slot_by_name.get(value, -1)
+            self._state.node_slot[self._index] = slot
+
+    def _bind(self, state, index: int) -> None:
+        """Adopt this pod into ``state`` (called by ``ClusterState``).
+
+        The caller has already copied the current attribute values into the
+        arrays at ``index``; from here on the hot properties read/write the
+        arrays.
+        """
+        self._state = state
+        self._index = index
 
     # ------------------------------------------------------------------ #
     def mark_submitted(self, time: float) -> None:
@@ -246,3 +351,10 @@ class Pod:
             "slowdown": self.slowdown,
             **{f"feature_{k}": v for k, v in self.features.items()},
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Pod(name={self.name!r}, request={self.request!r}, "
+            f"phase={self.phase!r}, node={self.node!r}, "
+            f"work_seconds={self.work_seconds!r}, speed={self.speed!r})"
+        )

@@ -28,11 +28,16 @@ import numpy as np
 
 from repro.cluster.autoscaler import AutoscalerState, AutoscalingNodePool, ScaleEvent
 from repro.cluster.events import EventQueue
-from repro.cluster.interference import InterferenceModel, NoInterference
+from repro.cluster.interference import (
+    InterferenceModel,
+    NoInterference,
+    uses_batched_speeds,
+)
 from repro.cluster.node import InsufficientCapacityError, Node
 from repro.cluster.placement import PlacementContext
 from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.scheduler import FIFOScheduler, Scheduler
+from repro.cluster.state import ClusterState, KernelProfile
 from repro.hardware import HardwareCatalog, HardwareConfig
 from repro.utils.logging import EventLog, NullLog
 from repro.utils.rng import SeedLike, as_generator
@@ -168,6 +173,22 @@ class ClusterSimulator:
         self._pending: List[Pod] = []
         self._pods: Dict[str, Pod] = {}
         self._pod_workloads: Dict[str, WorkloadModel] = {}
+        # The array kernel: flat SoA storage for pod/node runtime state.
+        # Every node is adopted now; every pod is adopted at submission.
+        self._state = ClusterState(node_capacity=max(len(self.nodes), 4))
+        for node in self.nodes:
+            self._state.adopt_node(node)
+        # Models whose node_speeds override is MRO-consistent with speed()
+        # get batched dispatch; anything else keeps the per-pod scalar call
+        # pattern via InterferenceModel.node_speeds.
+        self._batched_interference = uses_batched_speeds(self.interference)
+        # Incrementally maintained co-residency: node name -> running pods in
+        # allocation order, updated on start/finish/preempt/provision/drain
+        # instead of being rebuilt from the allocation dicts on every
+        # schedule pass.
+        self._running: Dict[str, List[Pod]] = {n.name: [] for n in self.nodes}
+        self._context_cache: Optional[PlacementContext] = None
+        self._profile: Optional[KernelProfile] = None
         # Busy-time integrals per node ([cpu, memory, gpu] resource-seconds)
         # and each node's activation time, for lifetime-prorated utilisation.
         self._busy_seconds: Dict[str, List[float]] = {}
@@ -189,6 +210,27 @@ class ClusterSimulator:
     def now(self) -> float:
         """Current simulation time (seconds)."""
         return self._events.now
+
+    @property
+    def state(self) -> ClusterState:
+        """The flat array kernel backing this simulator's pods and nodes.
+
+        Read-only introspection for tests and benchmarks; external code
+        must mutate pods/nodes through their facades, never the arrays.
+        """
+        return self._state
+
+    def enable_profiling(self) -> KernelProfile:
+        """Switch on hot-path wall-clock accounting and return the profile.
+
+        Used by ``run-contention --profile``: the returned
+        :class:`~repro.cluster.state.KernelProfile` accumulates time spent
+        in progress re-integration, schedule passes and placement decisions
+        for the rest of the simulator's life.
+        """
+        if self._profile is None:
+            self._profile = KernelProfile()
+        return self._profile
 
     @property
     def completed_runs(self) -> List[CompletedRun]:
@@ -356,6 +398,7 @@ class ClusterSimulator:
         # scheduling order -- and a preempted pod re-drew noise from the
         # shared RNG on restart, breaking replication determinism.
         pod.work_seconds = workload.observed_runtime(features, config, self._rng)
+        self._state.adopt_pod(pod)
         submit_time = self.now if at_time is None else float(at_time)
         self._events.push(submit_time, "pod_submitted", pod_name=name)
         self._pods[name] = pod
@@ -364,11 +407,14 @@ class ClusterSimulator:
         return pod
 
     def _running_pods_by_node(self) -> Dict[str, List[Pod]]:
-        """Currently running pods grouped by the node they occupy."""
-        return {
-            node.name: [self._pods[name] for name in node.allocations]
-            for node in self.nodes
-        }
+        """Currently running pods grouped by the node they occupy.
+
+        Served from the incrementally maintained co-residency map (updated
+        on start/finish/preempt/provision/drain); the returned dict carries
+        fresh lists in cluster-node order, so callers may keep or mutate it
+        freely.
+        """
+        return {node.name: list(self._running[node.name]) for node in self.nodes}
 
     def _placement_context(self) -> Optional[PlacementContext]:
         """Live co-residency + interference for interference-aware placement.
@@ -376,13 +422,18 @@ class ClusterSimulator:
         ``None`` for capacity-only policies (first-fit, best-fit, ...):
         they never read the context, and skipping the per-placement
         co-residency snapshot keeps the default path exactly as cheap as
-        the pre-refactor schedulers.
+        the pre-refactor schedulers.  For context-reading policies the
+        returned object is a cached view over the live co-residency map --
+        placements and completions update the map in place, so there is
+        nothing to rebuild between schedule passes.
         """
         if not self.scheduler.placement.needs_context:
             return None
-        return PlacementContext(
-            interference=self.interference, running=self._running_pods_by_node()
-        )
+        if self._context_cache is None:
+            self._context_cache = PlacementContext(
+                interference=self.interference, running=self._running
+            )
+        return self._context_cache
 
     def _start_pod(self, pod: Pod, node_name: str, reason: str) -> None:
         """Transition a placed pod to running and (re)schedule the node's finishes.
@@ -391,6 +442,7 @@ class ClusterSimulator:
         progress rate -- the new pod's included -- is re-evaluated.
         """
         pod.mark_running(self.now, node_name)
+        self._running[node_name].append(pod)
         if self._autoscaler is not None:
             self._autoscaler.idle_since.pop(node_name, None)
         node = next(n for n in self.nodes if n.name == node_name)
@@ -417,33 +469,114 @@ class ClusterSimulator:
         attempt (stale after preemption) and a per-reschedule epoch (stale
         after a rate change).
         """
-        residents = [self._pods[name] for name in node.allocations]
-        for pod in residents:
-            others = [p for p in residents if p is not pod]
-            speed = float(self.interference.speed(pod, node, others))
-            if not 0.0 < speed <= 1.0:
-                raise ValueError(
-                    f"interference model {type(self.interference).__name__} returned "
-                    f"progress rate {speed!r} for pod {pod.name!r}; rates must be in (0, 1]"
-                )
-            if not others and speed != 1.0:
-                raise ValueError(
-                    f"interference model {type(self.interference).__name__} slowed a "
-                    f"pod running alone (rate {speed!r}); solo pods must run at 1.0"
-                )
-            if pod.speed == speed:
-                continue
-            pod.set_speed(self.now, speed)
-            remaining = pod.remaining_wall_seconds()
-            pod.metadata["finish_epoch"] = pod.metadata.get("finish_epoch", 0) + 1
-            pod.metadata["pending_remaining"] = remaining
-            self._events.push_in(
-                remaining,
-                "pod_finished",
-                pod_name=pod.name,
-                attempt=pod.metadata.get("attempt", 0),
-                epoch=pod.metadata["finish_epoch"],
+        profile = self._profile
+        started = KernelProfile.clock() if profile is not None else 0.0
+        state = self._state
+        slot = node._slot if node._state is state else -1
+        if slot >= 0:
+            indices = state.residents[slot]
+            pods = [state.pods[i] for i in indices]
+        else:  # pragma: no cover - nodes are always adopted by the simulator
+            indices = None
+            pods = [self._pods[name] for name in node.allocations]
+        if not pods:
+            if profile is not None:
+                profile.reschedule_calls += 1
+                profile.reintegration_seconds += KernelProfile.clock() - started
+            return
+        if indices is not None:
+            ia = np.asarray(indices, dtype=np.intp)
+            requests = (state.req_cpus[ia], state.req_mem[ia], state.req_gpus[ia])
+        else:  # pragma: no cover - nodes are always adopted by the simulator
+            ia = None
+            requests = None
+        if self._batched_interference:
+            speeds = np.asarray(
+                self.interference.node_speeds(node, pods, requests), dtype=np.float64
             )
+        else:
+            # Force the base-class fallback: per-pod speed() calls in the
+            # exact pre-kernel pattern, so models that override speed()
+            # alone (including subclasses of the built-ins) are honoured.
+            speeds = InterferenceModel.node_speeds(self.interference, node, pods)
+        invalid = ~((speeds > 0.0) & (speeds <= 1.0))
+        if invalid.any():
+            i = int(np.argmax(invalid))
+            speed = float(speeds[i])
+            raise ValueError(
+                f"interference model {type(self.interference).__name__} returned "
+                f"progress rate {speed!r} for pod {pods[i].name!r}; rates must be in (0, 1]"
+            )
+        if len(pods) == 1 and float(speeds[0]) != 1.0:
+            speed = float(speeds[0])
+            raise ValueError(
+                f"interference model {type(self.interference).__name__} slowed a "
+                f"pod running alone (rate {speed!r}); solo pods must run at 1.0"
+            )
+        now = self.now
+        if ia is not None:
+            # Batched re-integration: one elementwise pass over the node's
+            # residents, arithmetically identical to the per-pod set_speed
+            # sequence (same operations in the same order per element).
+            current = state.speed[ia]
+            changed_mask = speeds != current  # NaN current -> True (unset rate)
+            if not changed_mask.any():
+                if profile is not None:
+                    profile.reschedule_calls += 1
+                    profile.reintegration_seconds += KernelProfile.clock() - started
+                return
+            ci = ia[changed_mask]
+            old_speeds = current[changed_mask]
+            had_rate = ~np.isnan(old_speeds)
+            if had_rate.any():
+                hi = ci[had_rate]
+                elapsed = now - state.updated_at[hi]
+                state.progress[hi] += elapsed * old_speeds[had_rate]
+                state.running_wall[hi] += elapsed
+            new_speeds = speeds[changed_mask]
+            state.updated_at[ci] = now
+            state.speed[ci] = new_speeds
+            remaining = np.maximum(state.work[ci] - state.progress[ci], 0.0) / new_speeds
+            push = self._events.push
+            flags = changed_mask.tolist()
+            changed_pods = [p for p, flag in zip(pods, flags) if flag]
+            n_changed = len(changed_pods)
+            for pod, speed, rem in zip(changed_pods, new_speeds.tolist(), remaining.tolist()):
+                pod.progress_log.append((now, speed))
+                metadata = pod.metadata
+                epoch = metadata.get("finish_epoch", 0) + 1
+                metadata["finish_epoch"] = epoch
+                metadata["pending_remaining"] = rem
+                # push(now + rem) is exactly push_in(rem): the queue clock
+                # has not advanced since ``now`` was read.
+                push(
+                    now + rem,
+                    "pod_finished",
+                    pod_name=pod.name,
+                    attempt=metadata.get("attempt", 0),
+                    epoch=epoch,
+                )
+        else:  # pragma: no cover - unadopted-node fallback (per-pod path)
+            n_changed = 0
+            for pod, speed in zip(pods, speeds.tolist()):
+                if pod.speed == speed:
+                    continue
+                n_changed += 1
+                pod.set_speed(now, speed)
+                remaining_wall = pod.remaining_wall_seconds()
+                pod.metadata["finish_epoch"] = pod.metadata.get("finish_epoch", 0) + 1
+                pod.metadata["pending_remaining"] = remaining_wall
+                self._events.push_in(
+                    remaining_wall,
+                    "pod_finished",
+                    pod_name=pod.name,
+                    attempt=pod.metadata.get("attempt", 0),
+                    epoch=pod.metadata["finish_epoch"],
+                )
+        if profile is not None:
+            profile.reschedule_calls += 1
+            profile.pods_rescheduled += n_changed
+            profile.reintegration_seconds += KernelProfile.clock() - started
 
     def _preempt_victims(self, plan) -> List[Pod]:
         """Evict the plan's victims (checkpoint-free) and return them."""
@@ -452,6 +585,7 @@ class ClusterSimulator:
         for name in plan.victims:
             victim = self._pods[name]
             node.release(name)
+            self._running[node.name].remove(victim)
             victim.metadata["attempt"] = victim.metadata.get("attempt", 0) + 1
             victim.mark_preempted(self.now)
             victims.append(victim)
@@ -484,27 +618,27 @@ class ClusterSimulator:
         terminate because every preemption places a strictly
         higher-priority pod than each pod it evicts.
         """
+        profile = self._profile
+        pass_started = KernelProfile.clock() if profile is not None else 0.0
         still_pending: List[Pod] = []
         blocked = False
         queue = self.scheduler.sort_pending(self._pending)
-        # The co-residency snapshot is only stale after a *successful*
-        # placement (or a preemption); failed attempts leave the cluster
-        # untouched, so one context serves every consecutive failure.
+        # The cached context wraps the live co-residency map, which every
+        # successful placement (and preemption) updates in place -- so one
+        # context object serves the whole pass.
         context = self._placement_context()
         for i, pod in enumerate(queue):
             if blocked:
                 still_pending.extend(queue[i:])
                 break
-            decision = self.scheduler.schedule(pod, self.nodes, context)
+            decision = self._place(pod, context)
             if not decision.placed and self.scheduler.supports_preemption:
                 plan = self.scheduler.select_victims(
                     pod, self.nodes, self._running_pods_by_node()
                 )
                 if plan is not None:
                     victims = self._preempt_victims(plan)
-                    decision = self.scheduler.schedule(
-                        pod, self.nodes, self._placement_context()
-                    )
+                    decision = self._place(pod, self._placement_context())
                     if decision.placed:
                         self._start_pod(pod, decision.node_name, decision.reason)
                         remaining = queue[i + 1 :]
@@ -517,10 +651,12 @@ class ClusterSimulator:
                     # within-class order only.
                     victims.sort(key=lambda p: p.name)
                     self._pending = victims + still_pending + remaining
+                    if profile is not None:
+                        profile.schedule_passes += 1
+                        profile.scheduling_seconds += KernelProfile.clock() - pass_started
                     return True
             if decision.placed:
                 self._start_pod(pod, decision.node_name, decision.reason)
-                context = self._placement_context()
             else:
                 still_pending.append(pod)
                 # Strict FIFO service order: an unplaceable pod at the head of
@@ -529,7 +665,21 @@ class ClusterSimulator:
                 if self.scheduler.head_of_line_blocking:
                     blocked = True
         self._pending = still_pending
+        if profile is not None:
+            profile.schedule_passes += 1
+            profile.scheduling_seconds += KernelProfile.clock() - pass_started
         return False
+
+    def _place(self, pod: Pod, context: Optional[PlacementContext]):
+        """One placement decision, timed when profiling is enabled."""
+        profile = self._profile
+        if profile is None:
+            return self.scheduler.schedule(pod, self.nodes, context)
+        started = KernelProfile.clock()
+        decision = self.scheduler.schedule(pod, self.nodes, context)
+        profile.placement_calls += 1
+        profile.placement_seconds += KernelProfile.clock() - started
+        return decision
 
     def _maybe_scale_up(self) -> None:
         """Request pool nodes for pending pods that current capacity can't place.
@@ -593,7 +743,10 @@ class ClusterSimulator:
         state = self._autoscaler
         assert state is not None, "node_provisioned without an autoscaler"
         name = event.payload["node_name"]
-        self.nodes.append(state.pool.template_node(name))
+        node = state.pool.template_node(name)
+        self.nodes.append(node)
+        self._state.adopt_node(node)
+        self._running[name] = []
         self._feasibility.clear()
         self._busy_since[name] = float(event.time)
         self._active_since[name] = float(event.time)
@@ -632,6 +785,8 @@ class ClusterSimulator:
         if node is None or node.allocations:
             return
         self.nodes.remove(node)
+        self._state.release_node(node)
+        self._running.pop(name, None)
         self._feasibility.clear()
         self._busy_since.pop(name, None)
         self._busy_seconds.pop(name, None)
@@ -651,34 +806,41 @@ class ClusterSimulator:
         Later events at the *same* instant contribute zero elapsed time, so
         the node loop runs once per distinct timestamp, not once per event.
         """
-        if self.now == self._busy_clock:
+        now = self._events.now
+        if now == self._busy_clock:
             return
+        busy_since = self._busy_since
+        busy_seconds = self._busy_seconds
         for node in self.nodes:
-            last = self._busy_since.get(node.name, self.now)
-            dt = self.now - last
+            name = node.name
+            last = busy_since.get(name, now)
+            dt = now - last
             if dt > 0:
-                acc = self._busy_seconds.setdefault(node.name, [0.0, 0.0, 0.0])
-                acc[0] += dt * node.allocated_cpus
-                acc[1] += dt * node.allocated_memory_gb
-                acc[2] += dt * node.allocated_gpus
-            self._busy_since[node.name] = self.now
-        self._busy_clock = self.now
+                acc = busy_seconds.setdefault(name, [0.0, 0.0, 0.0])
+                acc[0] += dt * node._alloc_cpus
+                acc[1] += dt * node._alloc_memory_gb
+                acc[2] += dt * node._alloc_gpus
+            busy_since[name] = now
+        self._busy_clock = now
 
     def _handle_event(self, event) -> None:
+        if self._profile is not None:
+            self._profile.events_processed += 1
         self._integrate_busy()
-        if event.kind == "pod_submitted":
-            pod = self._pods[event.payload["pod_name"]]
-            pod.mark_submitted(event.time)
-            self._pending.append(pod)
-            self._try_schedule_pending()
-        elif event.kind == "pod_finished":
-            pod = self._pods[event.payload["pod_name"]]
-            if event.payload.get("attempt", 0) != pod.metadata.get("attempt", 0):
+        # ``pod_finished`` first: tentative finishes vastly outnumber every
+        # other kind (each rate change re-schedules one per changed pod),
+        # and most of them arrive stale.
+        if event.kind == "pod_finished":
+            payload = event.payload
+            pod = self._pods[payload["pod_name"]]
+            metadata = pod.metadata
+            if payload.get("attempt", 0) != metadata.get("attempt", 0):
                 return  # stale completion: the pod was preempted mid-run
-            if event.payload.get("epoch", 0) != pod.metadata.get("finish_epoch", 0):
+            if payload.get("epoch", 0) != metadata.get("finish_epoch", 0):
                 return  # superseded tentative finish: the pod's rate changed
             node = next(n for n in self.nodes if n.name == pod.node)
             node.release(pod.name)
+            self._running[node.name].remove(pod)
             pod.mark_finished(event.time, succeeded=True)
             workload = self._pod_workloads.get(pod.name, self.workload)
             # Close out progress with the *scheduled* remainder rather than
@@ -717,6 +879,11 @@ class ClusterSimulator:
             self._reschedule_node(node)
             if not node.allocations:
                 self._mark_node_idle(node.name, float(event.time))
+            self._try_schedule_pending()
+        elif event.kind == "pod_submitted":
+            pod = self._pods[event.payload["pod_name"]]
+            pod.mark_submitted(event.time)
+            self._pending.append(pod)
             self._try_schedule_pending()
         elif event.kind == "node_provisioned":
             self._handle_node_provisioned(event)

@@ -62,6 +62,7 @@ from repro.evaluation.contention import (
 )
 from repro.evaluation.reporting import (
     format_contention_report,
+    format_kernel_profile,
     format_metric_table,
     format_replication_bands,
     format_series,
@@ -82,6 +83,7 @@ __all__ = [
     "ReplicationSummary",
     "ExperimentEngine",
     "format_contention_report",
+    "format_kernel_profile",
     "format_replication_bands",
     "rmse",
     "mae",

@@ -152,6 +152,11 @@ class ContentionResult:
     #: Reward mode per tenant (``"runtime"``, ``"queue_inclusive"`` or
     #: ``"slowdown_inclusive"``), for the report's reward-shaping line.
     reward_modes: Dict[str, str] = field(default_factory=dict)
+    #: Kernel wall-time accounting (re-integration / scheduling / placement
+    #: seconds and event counters), populated only when the engine ran with
+    #: ``profile=True``.  Never part of :meth:`summary` -- profiling must not
+    #: perturb parity-pinned outputs.
+    kernel_profile: Optional[Dict[str, float]] = None
 
     @property
     def n_completed(self) -> int:
@@ -403,10 +408,12 @@ class ExperimentEngine:
         scenario: "ContentionScenario",
         cost_model: Optional[ResourceCostModel] = None,
         log: Optional[EventLog] = None,
+        profile: bool = False,
     ):
         self.scenario = scenario
         self.cost_model = cost_model or ResourceCostModel()
         self.log = log
+        self.profile = profile
         self.catalog = scenario.union_catalog()
 
     # ------------------------------------------------------------------ #
@@ -450,6 +457,7 @@ class ExperimentEngine:
         """Play the scenario through the queued cluster path."""
         scenario = self.scenario
         cluster = self._build_cluster(scenario.tenants[0].workload)
+        kernel_profile = cluster.enable_profiling() if self.profile else None
         service = build_scenario_service(scenario, self.catalog, log=self.log)
         accountant = ScenarioAccountant(self.catalog, self.cost_model)
         states = [
@@ -563,6 +571,7 @@ class ExperimentEngine:
             scale_events=cluster.scale_events,
             placement=cluster.scheduler.placement.name,
             reward_modes=self._reward_modes(),
+            kernel_profile=kernel_profile.as_dict() if kernel_profile else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -25,8 +25,38 @@ __all__ = [
     "format_summary",
     "format_histogram",
     "format_contention_report",
+    "format_kernel_profile",
     "format_replication_bands",
 ]
+
+
+def format_kernel_profile(profile: Mapping[str, float]) -> str:
+    """Render a simulator kernel wall-time breakdown (``--profile`` output).
+
+    ``profile`` is :meth:`~repro.cluster.state.KernelProfile.as_dict`:
+    seconds spent in progress re-integration, scheduling passes and
+    placement scoring, plus the event/reschedule counters that give the
+    seconds a denominator.
+    """
+    reint = float(profile.get("reintegration_seconds", 0.0))
+    sched = float(profile.get("scheduling_seconds", 0.0))
+    place = float(profile.get("placement_seconds", 0.0))
+    lines = ["kernel profile (wall seconds inside the simulator's hot paths)"]
+    lines.append(
+        f"  re-integration  {reint:>10.4f}s over "
+        f"{int(profile.get('reschedule_calls', 0))} reschedules "
+        f"({int(profile.get('pods_rescheduled', 0))} pod rate changes)"
+    )
+    lines.append(
+        f"  scheduling      {sched:>10.4f}s over "
+        f"{int(profile.get('schedule_passes', 0))} passes (includes placement)"
+    )
+    lines.append(
+        f"  placement       {place:>10.4f}s over "
+        f"{int(profile.get('placement_calls', 0))} decisions"
+    )
+    lines.append(f"  events processed {int(profile.get('events_processed', 0))}")
+    return "\n".join(lines)
 
 
 def _format_cell(value, width: int = 12, precision: int = 4) -> str:

@@ -1,0 +1,75 @@
+"""Memory-budget regression gates for the evaluation engine and array kernel.
+
+mlbench-style allocation budgets: each test carries a
+``@pytest.mark.limit_memory("N MB")`` marker (enforced by pytest-memray in
+environments that have the plugin installed) *and* self-enforces the same
+budget with :mod:`tracemalloc`, so the gate holds in this repo's
+plugin-free environment too.  The budgets are deliberately several times
+the measured peaks (sweep ~0.7 MB, stress ~4.3 MB at the time of writing):
+they exist to catch an accidental switch from flat array storage back to
+per-object/per-event allocation blowups, not to pin the allocator's exact
+behaviour.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+
+def _budget_mb(request) -> float:
+    """The test's own ``limit_memory`` marker value, in MiB.
+
+    Reading the marker keeps the tracemalloc fallback and the
+    pytest-memray enforcement on the same number by construction.
+    """
+    marker = request.node.get_closest_marker("limit_memory")
+    assert marker is not None, "memory-gate tests must carry @pytest.mark.limit_memory"
+    text = marker.args[0].strip()
+    assert text.endswith("MB"), f"budget must be in MB, got {text!r}"
+    return float(text[:-2].strip())
+
+
+def _traced_peak_mb(fn) -> float:
+    """Peak Python allocation (MiB) while running ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
+@pytest.mark.limit_memory("8 MB")
+def test_replication_sweep_memory_budget(request):
+    """A 4-replication interference-heavy sweep stays within its budget.
+
+    The replication path re-runs the full scenario per seed; the gate
+    catches results accidentally accumulating across replications (e.g.
+    keeping every pod object of every replication alive).
+    """
+    from repro.evaluation.contention import build_scenario
+    from repro.evaluation.engine import run_scenario_replications
+
+    def sweep():
+        scenario = build_scenario("interference-heavy", seed=0)
+        run_scenario_replications(scenario, 4, n_workers=1)
+
+    peak = _traced_peak_mb(sweep)
+    assert peak < _budget_mb(request), f"replication sweep peaked at {peak:.1f} MiB"
+
+
+@pytest.mark.limit_memory("16 MB")
+def test_array_kernel_stress_memory_budget(request):
+    """The 128-pod single-node kernel stress stays within its budget.
+
+    The stress drives tens of thousands of tentative-finish events through
+    the SoA kernel; the gate catches per-event payload copies or per-pod
+    array materialisation creeping back into the hot path.
+    """
+    from benchmarks.bench_engine import _kernel_stress
+
+    peak = _traced_peak_mb(lambda: _kernel_stress(128, 256, 1024))
+    assert peak < _budget_mb(request), f"kernel stress peaked at {peak:.1f} MiB"
