@@ -20,6 +20,17 @@ Three benchmarks live here:
   interference-heavy replication sweep and two co-residency stress runs
   against pre-refactor wall-clock baselines (``kernel_baseline.json``),
   recording the measured speedup factors either way.
+* ``run_service_bench`` -- the serving-layer benchmark
+  (``BENCH_service.json``): asserts the sharded ``RecommendationService``
+  facade reproduces the pre-refactor reference stream **bit for bit** for
+  every shard count (``service_parity_reference.json``) and that a
+  checkpoint/restore round trip preserves state exactly, then drives the
+  Zipfian / hotspot / bursty traffic mixes through the shard layer at one
+  and four shards, recording recommendations/sec and p50/p95/p99 latency
+  (event-driven simulated clock anchored to the real calibrated per-request
+  cost) plus the real measured batching speedup.  It asserts the headline
+  result: four-shard throughput on the Zipfian mix is at least twice the
+  single-shard throughput.
 * ``run_placement_bench`` -- the placement-suite benchmark
   (``BENCH_placement.json``): the interference scenarios are replayed under
   each placement policy (first-fit, best-fit, spread, pack,
@@ -89,6 +100,7 @@ DEFAULT_CONTENTION_OUTPUT = REPO_ROOT / "BENCH_contention.json"
 DEFAULT_INTERFERENCE_OUTPUT = REPO_ROOT / "BENCH_interference.json"
 DEFAULT_PLACEMENT_OUTPUT = REPO_ROOT / "BENCH_placement.json"
 DEFAULT_KERNEL_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
 
 class _SeedOLS(ArmModel):
@@ -522,6 +534,166 @@ def run_placement_bench(
     return report
 
 
+def run_service_bench(
+    n_requests: int = 2000,
+    repeats: int = 3,
+    shard_counts: tuple = (1, 2, 4),
+    output: Optional[os.PathLike] = DEFAULT_SERVICE_OUTPUT,
+) -> Dict:
+    """Benchmark the sharded serving layer and pin its parity guarantees.
+
+    Three guarantees are asserted (CI runs this suite in smoke mode):
+
+    * **facade parity** -- the sharded ``RecommendationService`` replays the
+      pre-refactor reference stream bit for bit at every shard count
+      (``service_parity_reference.json``);
+    * **checkpoint round trip** -- checkpoint -> restore reproduces the
+      service state exactly (same recommenders, tickets, history, pending
+      set);
+    * **sharding pays** -- four-shard throughput on the Zipfian mix is at
+      least 2x single-shard.
+
+    Throughput/latency numbers come from the event-driven load harness: real
+    recommendations and real learning on a simulated clock anchored to the
+    real calibrated per-request cost (reported as
+    ``measured_cost_per_request_seconds``), so the shard scaling measures
+    the architecture rather than this container's core count.  The real
+    wall-clock batching speedup (coalesced entry points vs one call per
+    request) is measured separately.
+    """
+    import sys
+
+    benchmarks_dir = str(Path(__file__).resolve().parent)
+    if benchmarks_dir not in sys.path:  # imported as a module (tests, CI)
+        sys.path.insert(0, benchmarks_dir)
+    from capture_service_parity import (
+        REFERENCE_PATH,
+        build_reference_service,
+        drive_reference_stream,
+        run_reference_stream,
+        summarise_service,
+    )
+    from repro.evaluation.service_load import (
+        ServiceLoadConfig,
+        calibrate_cost_per_request,
+        run_service_load,
+    )
+    from repro.integration import RecommendationService
+
+    # --- facade parity: sharded service vs pre-refactor reference stream ---
+    reference = json.loads(REFERENCE_PATH.read_text())
+    parity_drift: Dict[str, str] = {}
+    for n_shards in (1, 2, 3, 4):
+        summary = json.loads(
+            json.dumps(run_reference_stream(n_shards=n_shards, n_rounds=reference["n_rounds"]))
+        )
+        if summary != reference["summary"]:
+            parity_drift[str(n_shards)] = "summary mismatch vs reference"
+    parity_exact = not parity_drift
+
+    # --- checkpoint round trip: restored state is bit-identical -----------
+    service, workloads = build_reference_service(n_shards=3)
+    drive_reference_stream(service, workloads, n_rounds=30)
+    restored = RecommendationService.restore(service.checkpoint())
+    checkpoint_parity = json.loads(json.dumps(summarise_service(service, []))) == json.loads(
+        json.dumps(summarise_service(restored, []))
+    )
+
+    # --- real wall-clock anchors ------------------------------------------
+    cost = min(calibrate_cost_per_request(seed=s) for s in range(repeats))
+    from repro.evaluation.service_load import build_load_service
+
+    batch_size = 64
+
+    def _unbatched_cycle() -> None:
+        svc, wls = build_load_service(ServiceLoadConfig(n_apps=4, n_shards=1, seed=0))
+        rng = np.random.default_rng(0)
+        apps = list(wls)
+        tickets = []
+        for i in range(batch_size):
+            app = apps[i % len(apps)]
+            tickets.append((app, svc.submit_workflow(app, wls[app].sample_features(rng))))
+        for app, ticket in tickets:
+            runtime = wls[app].observed_runtime(
+                ticket.features, ticket.recommendation.hardware, rng
+            )
+            svc.complete_workflow(ticket.ticket_id, runtime)
+
+    def _batched_cycle() -> None:
+        svc, wls = build_load_service(ServiceLoadConfig(n_apps=4, n_shards=1, seed=0))
+        rng = np.random.default_rng(0)
+        apps = list(wls)
+        completions = []
+        for app in apps:
+            share = batch_size // len(apps)
+            features = [wls[app].sample_features(rng) for _ in range(share)]
+            for ticket in svc.submit_workflows(app, features):
+                runtime = wls[app].observed_runtime(
+                    ticket.features, ticket.recommendation.hardware, rng
+                )
+                completions.append((ticket.ticket_id, runtime))
+        svc.complete_workflows(completions)
+
+    unbatched_seconds = _time_best(_unbatched_cycle, repeats)
+    batched_seconds = _time_best(_batched_cycle, repeats)
+    batching_speedup = unbatched_seconds / batched_seconds
+
+    # --- traffic mixes through the shard layer (simulated clock) ----------
+    mixes: Dict[str, Dict[str, Dict]] = {}
+    for mix in ("zipfian", "hotspot", "bursty"):
+        per_shards: Dict[str, Dict] = {}
+        for n_shards in shard_counts:
+            config = ServiceLoadConfig(
+                n_shards=n_shards,
+                n_requests=n_requests,
+                cost_per_request=cost,
+                saturation_shards=max(shard_counts),
+            )
+            per_shards[str(n_shards)] = run_service_load(mix, config).to_dict()
+        mixes[mix] = per_shards
+
+    max_shards = str(max(shard_counts))
+    zipf_ratio = (
+        mixes["zipfian"][max_shards]["throughput_rps"]
+        / mixes["zipfian"]["1"]["throughput_rps"]
+    )
+    sharding_pays = zipf_ratio >= 2.0
+
+    report = {
+        "benchmark": "service_suite",
+        "cpu_count": os.cpu_count(),
+        "n_requests": n_requests,
+        "clock": "simulated (event-driven; anchored to measured per-request cost)",
+        "measured_cost_per_request_seconds": cost,
+        "measured_recommendations_per_second": 1.0 / cost,
+        "batching_speedup_wallclock": batching_speedup,
+        "facade_parity_exact": parity_exact,
+        "facade_parity_drift": parity_drift,
+        "checkpoint_roundtrip_exact": checkpoint_parity,
+        "mixes": mixes,
+        "zipfian_throughput_ratio": zipf_ratio,
+        "sharding_pays": sharding_pays,
+    }
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    if not parity_exact:
+        raise AssertionError(
+            "service facade parity drift: the sharded RecommendationService no "
+            f"longer reproduces the pre-refactor reference exactly ({parity_drift})"
+        )
+    if not checkpoint_parity:
+        raise AssertionError(
+            "service checkpoint round trip is no longer exact: restored state "
+            "differs from the checkpointed service"
+        )
+    if not sharding_pays:
+        raise AssertionError(
+            f"sharding no longer pays: {max_shards}-shard Zipfian throughput is "
+            f"only {zipf_ratio:.2f}x single-shard (need >= 2.0x)"
+        )
+    return report
+
+
 def _kernel_stress(n_pods: int, node_cpus: int, node_memory_gb: float, profile: bool = False):
     """The kernel stress workload: one fat node, every pod co-resident.
 
@@ -700,8 +872,27 @@ def main(argv=None) -> int:
         help="where the array-kernel report lands",
     )
     parser.add_argument(
+        "--service-output",
+        default=str(DEFAULT_SERVICE_OUTPUT),
+        help="where the serving-layer report lands",
+    )
+    parser.add_argument(
+        "--service-requests",
+        type=int,
+        default=2000,
+        help="requests per mix in the service suite (smoke mode: ~300)",
+    )
+    parser.add_argument(
         "--suite",
-        choices=["engine", "contention", "interference", "placement", "kernel", "all"],
+        choices=[
+            "engine",
+            "contention",
+            "interference",
+            "placement",
+            "kernel",
+            "service",
+            "all",
+        ],
         default="all",
         help="which benchmark(s) to run",
     )
@@ -745,6 +936,14 @@ def main(argv=None) -> int:
             run_kernel_bench(
                 repeats=args.repeats,
                 output=args.kernel_output,
+            )
+        )
+    if args.suite in ("service", "all"):
+        reports.append(
+            run_service_bench(
+                n_requests=args.service_requests,
+                repeats=args.repeats,
+                output=args.service_output,
             )
         )
     for report in reports:

@@ -1,0 +1,113 @@
+"""Serving-layer study: skewed traffic through the sharded recommendation service.
+
+The :class:`~repro.integration.RecommendationService` facade now fronts a
+sharded serving core: applications are consistent-hashed onto independent
+:class:`~repro.integration.ServiceShard`\\ s, requests queue behind a bounded
+admission controller (overload is an explicit reject-with-retry-after, never
+a silent drop), and a :class:`~repro.integration.RequestBatcher` coalesces
+traffic into the batched entry points.  This study walks the full stack:
+
+1. **Traffic mixes** -- Zipfian application skew, a flash crowd ("hotspot")
+   and campaign-style bursts are driven through the shard layer at one and
+   four shards via the event-driven load harness, reporting throughput and
+   tail latency.  The harness runs real recommendations and real learning on
+   a *simulated clock* anchored to this machine's calibrated per-request
+   serving cost, so the shard comparison measures the architecture, not the
+   container's core count.
+2. **Backpressure** -- a deliberately undersized queue shows the explicit
+   admission contract.
+3. **Durability** -- the service is checkpointed mid-stream, restored, and
+   both copies continue identically.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_load_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import (
+    ServiceLoadConfig,
+    build_load_service,
+    calibrate_cost_per_request,
+    format_service_load_report,
+    run_service_load,
+)
+from repro.integration import (
+    AdmissionController,
+    BackpressureError,
+    RecommendationService,
+)
+
+
+def main() -> None:
+    cost = calibrate_cost_per_request(seed=0)
+    print(
+        f"calibrated serving cost on this machine: {cost * 1e3:.3f} ms/request "
+        f"({1.0 / cost:.0f} recommendations/sec per shard)\n"
+    )
+
+    # 1. The three benchmark mixes at one and four shards.
+    for mix in ("zipfian", "hotspot", "bursty"):
+        results = []
+        for n_shards in (1, 4):
+            config = ServiceLoadConfig(
+                n_shards=n_shards,
+                n_requests=800,
+                cost_per_request=cost,
+                saturation_shards=4,
+            )
+            results.append(run_service_load(mix, config))
+        print(format_service_load_report(results))
+        ratio = results[1].throughput_rps / results[0].throughput_rps
+        print(f"=> {mix}: 4 shards serve {ratio:.2f}x the single-shard throughput\n")
+    print(
+        "consistent hashing is load-oblivious, so the speedup is capped at "
+        "1/max_shard_share\nof the traffic: the Zipfian head limits it well "
+        "below the 4x shard count, and the\nhotspot mix (one app going viral) "
+        "pins a single shard by construction.\n"
+    )
+
+    # 2. Backpressure is explicit: a tiny queue rejects with retry-after.
+    controller = AdmissionController(n_shards=1, capacity=4, drain_rate_per_second=1.0 / cost)
+    for request in range(4):
+        controller.admit(0, request)
+    try:
+        controller.admit(0, "one too many")
+    except BackpressureError as error:
+        print(
+            "backpressure contract: admission rejected with "
+            f"retry_after={error.retry_after_seconds * 1e3:.2f} ms "
+            f"(queue {error.queue_depth}/{error.capacity}; nothing dropped silently)\n"
+        )
+
+    # 3. Checkpoint mid-stream, restore, and continue identically.
+    config = ServiceLoadConfig(n_apps=8, n_shards=2, seed=0)
+    service, workloads = build_load_service(config)
+    rng = np.random.default_rng(0)
+    apps = list(workloads)
+    for i in range(40):
+        app = apps[i % len(apps)]
+        ticket = service.submit_workflow(app, workloads[app].sample_features(rng))
+        runtime = workloads[app].observed_runtime(
+            ticket.features, ticket.recommendation.hardware, rng
+        )
+        service.complete_workflow(ticket.ticket_id, runtime)
+    restored = RecommendationService.restore(service.checkpoint())
+    probe = workloads[apps[0]].sample_features(rng)
+    original_pick = service.submit_workflow(apps[0], probe)
+    restored_pick = restored.submit_workflow(apps[0], probe)
+    assert original_pick.recommendation.hardware.name == restored_pick.recommendation.hardware.name
+    assert original_pick.ticket_id == restored_pick.ticket_id
+    print(
+        "durability: after 40 completed workflows, checkpoint -> restore -> "
+        "resume picks the\nsame hardware "
+        f"({restored_pick.recommendation.hardware.name}) and issues the same "
+        f"ticket id ({restored_pick.ticket_id}) as the original."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,7 @@ from repro.dataframe import DataFrame
 from repro.hardware import HardwareCatalog, HardwareConfig
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["Recommendation", "ObservationRecord", "BanditWare"]
+__all__ = ["Recommendation", "ObservationRecord", "ModelSnapshot", "BanditWare"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,59 @@ class ObservationRecord:
     runtime_seconds: float
     queue_seconds: float = 0.0
     slowdown: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """An immutable copy of a recommender's per-arm linear models.
+
+    The serving layer publishes one snapshot per application so read-only
+    queries (runtime predictions, dashboards) never touch the live models
+    while an ``observe`` batch is refitting them: writers build a *new*
+    snapshot after mutating and swap the reference (copy-on-write); a reader
+    holding an old snapshot keeps a consistent view forever.
+
+    Attributes
+    ----------
+    feature_names:
+        Context feature order, as in :attr:`BanditWare.feature_names`.
+    arm_names:
+        Hardware names in catalog (arm) order.
+    coefficients:
+        ``(n_arms, n_features)`` slope matrix (read-only array).
+    intercepts:
+        Per-arm intercepts (read-only array).
+    observation_counts:
+        Per-arm observation counts at snapshot time.
+    version:
+        The recommender's mutation counter when the snapshot was taken;
+        two snapshots of one recommender with equal versions are identical.
+    """
+
+    feature_names: tuple
+    arm_names: tuple
+    coefficients: np.ndarray
+    intercepts: np.ndarray
+    observation_counts: tuple
+    version: int
+
+    def context_vector(self, features: Dict[str, float]) -> np.ndarray:
+        missing = [name for name in self.feature_names if name not in features]
+        if missing:
+            raise KeyError(
+                f"features missing {missing}; snapshot expects {list(self.feature_names)}"
+            )
+        return np.asarray([float(features[name]) for name in self.feature_names])
+
+    def predict_runtimes(self, features: Dict[str, float]) -> Dict[str, float]:
+        """Estimated runtime on every arm, from the frozen coefficients."""
+        values = self.coefficients @ self.context_vector(features) + self.intercepts
+        return {name: float(v) for name, v in zip(self.arm_names, values)}
+
+    def predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """``(n_rows, n_arms)`` estimates for an already-ordered design matrix."""
+        X = np.asarray(X, dtype=float)
+        return X @ self.coefficients.T + self.intercepts
 
 
 class BanditWare:
@@ -134,13 +187,16 @@ class BanditWare:
             raise ValueError(f"feature_names contains duplicates: {names}")
         self.catalog = catalog
         self.feature_names: List[str] = names
-        self._factory = arm_model_factory or (lambda m: LeastSquaresModel(m))
+        # The class itself is the default factory (not a lambda) so the
+        # recommender stays picklable for checkpoints and worker processes.
+        self._factory = arm_model_factory or LeastSquaresModel
         self.policy = policy or DecayingEpsilonGreedyPolicy(tolerance=tolerance)
         self._rng = as_generator(seed)
         self._models: List[ArmModel] = [self._factory(len(names)) for _ in catalog]
         self._history: List[ObservationRecord] = []
         self.track_history = bool(track_history)
         self.reward = reward or RewardConfig()
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -158,6 +214,36 @@ class BanditWare:
     def history(self) -> List[ObservationRecord]:
         """All observations fed to :meth:`observe` / :meth:`warm_start`, in order."""
         return list(self._history)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every observation batch and reset.
+
+        Snapshot caches key on this -- equal versions guarantee the per-arm
+        coefficients are unchanged.
+        """
+        return self._version
+
+    def snapshot(self) -> ModelSnapshot:
+        """An immutable copy-on-write view of the current per-arm models.
+
+        The returned arrays are frozen copies: subsequent observations build
+        new model state without touching any published snapshot, so readers
+        never block on (or observe half of) an in-flight update.
+        """
+        W = np.vstack([model.coefficients for model in self._models]) \
+            if self._models else np.empty((0, self.n_features))
+        b = np.asarray([model.intercept for model in self._models], dtype=float)
+        W.setflags(write=False)
+        b.setflags(write=False)
+        return ModelSnapshot(
+            feature_names=tuple(self.feature_names),
+            arm_names=tuple(hw.name for hw in self.catalog),
+            coefficients=W,
+            intercepts=b,
+            observation_counts=tuple(m.n_observations for m in self._models),
+            version=self._version,
+        )
 
     def model_for(self, hardware: Union[str, HardwareConfig]) -> ArmModel:
         """The runtime model of one hardware configuration."""
@@ -282,6 +368,7 @@ class BanditWare:
         target = self.reward.effective_runtime(runtime_seconds, queue_seconds, slowdown)
         self._models[arm].update_vector(context, target)
         self.policy.observe(arm, context, target)
+        self._version += 1
         if self.track_history:
             if features is None:
                 features = dict(zip(self.feature_names, map(float, context)))
@@ -363,6 +450,7 @@ class BanditWare:
             per_arm_y.setdefault(arm, []).append(target)
         for arm, rows in per_arm_X.items():
             self._models[arm].update_batch(np.vstack(rows), per_arm_y[arm])
+        self._version += len(runtimes)
         for features, context, arm, target, runtime, queue, ratio in zip(
             features_batch, contexts, arms, targets, runtimes, queues, ratios
         ):
@@ -471,3 +559,4 @@ class BanditWare:
         self._models = [self._factory(self.n_features) for _ in self.catalog]
         self.policy.reset()
         self._history.clear()
+        self._version += 1

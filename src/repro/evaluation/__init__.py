@@ -66,7 +66,18 @@ from repro.evaluation.reporting import (
     format_metric_table,
     format_replication_bands,
     format_series,
+    format_service_load_report,
     format_summary,
+)
+from repro.evaluation.service_load import (
+    HotspotAppMix,
+    ServiceLoadConfig,
+    ServiceLoadResult,
+    ZipfianAppMix,
+    build_load_service,
+    calibrate_cost_per_request,
+    run_service_load,
+    standard_mixes,
 )
 
 __all__ = [
@@ -102,4 +113,13 @@ __all__ = [
     "format_series",
     "format_metric_table",
     "format_summary",
+    "format_service_load_report",
+    "ZipfianAppMix",
+    "HotspotAppMix",
+    "ServiceLoadConfig",
+    "ServiceLoadResult",
+    "build_load_service",
+    "calibrate_cost_per_request",
+    "run_service_load",
+    "standard_mixes",
 ]

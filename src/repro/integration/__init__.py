@@ -14,10 +14,33 @@ simulator so the end-to-end deployment story is executable:
   registry, the history store and a cluster backend, exposing
   ``submit_workflow`` / ``complete_workflow`` calls shaped like the platform's
   API.
+* :class:`~repro.integration.sharding.ShardMap` /
+  :class:`~repro.integration.sharding.ServiceShard` -- the sharded serving
+  core behind the facade: consistent-hash assignment of applications to
+  independent shards.
+* :class:`~repro.integration.serving.RequestBatcher` /
+  :class:`~repro.integration.serving.AdmissionController` -- request
+  coalescing into the batched entry points and bounded-queue backpressure
+  (:class:`~repro.integration.serving.BackpressureError`).
+* :class:`~repro.integration.checkpoint.ServiceCheckpoint` -- versioned
+  whole-service durability with bit-identical restore.
 """
 
+from repro.integration.checkpoint import (
+    CHECKPOINT_VERSION,
+    ServiceCheckpoint,
+    checkpoint_service,
+    restore_service,
+)
 from repro.integration.ndp import ApplicationInfo, ApplicationRegistry, RunHistoryStore
 from repro.integration.recommender_service import RecommendationService, WorkflowTicket
+from repro.integration.serving import (
+    AdmissionController,
+    BackpressureError,
+    RequestBatcher,
+    ShardQueue,
+)
+from repro.integration.sharding import ServiceShard, ShardMap
 
 __all__ = [
     "ApplicationInfo",
@@ -25,4 +48,14 @@ __all__ = [
     "RunHistoryStore",
     "RecommendationService",
     "WorkflowTicket",
+    "ShardMap",
+    "ServiceShard",
+    "RequestBatcher",
+    "AdmissionController",
+    "BackpressureError",
+    "ShardQueue",
+    "CHECKPOINT_VERSION",
+    "ServiceCheckpoint",
+    "checkpoint_service",
+    "restore_service",
 ]

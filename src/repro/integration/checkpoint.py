@@ -1,0 +1,182 @@
+"""Versioned whole-service checkpoints with bit-identical restore.
+
+A serving deployment must survive process restarts without losing learned
+state: the per-arm model matrices, the exploration policy's RNG position,
+the ticket table (including still-pending tickets), and the run-history
+ledger.  :func:`checkpoint_service` captures all of it into a
+:class:`ServiceCheckpoint`; :func:`restore_service` rebuilds a
+:class:`~repro.integration.recommender_service.RecommendationService` that
+continues **bit-identically** -- the restored service produces the same
+recommendations, observations and ticket ids as the original would have
+(pinned by ``tests/test_service_checkpoint.py``).
+
+Format (version 1)
+------------------
+A checkpoint is a pickled :class:`ServiceCheckpoint` with explicit fields:
+
+* ``version`` -- format version; :func:`restore_service` refuses unknown
+  versions instead of guessing.
+* ``n_shards`` / ``n_replicas`` -- shard-map geometry (the consistent-hash
+  ring is rebuilt deterministically from these).
+* ``shard_payloads`` -- one pickle per :class:`ServiceShard`: the shard's
+  recommenders (model matrices, policy/exploration state, reward configs),
+  priorities, ticket table and published snapshots.
+* ``facade_payload`` -- pickle of the cross-shard state: hardware catalog,
+  application registry, run-history records, default tolerance, service
+  seed, the application->shard and ticket->shard maps (the latter in global
+  submission order).
+* ``history_cursor`` -- ledger length at capture time; restore replays the
+  ledger up to the cursor so a checkpoint taken mid-stream is exact.
+* ``next_ticket`` -- the deterministic ticket counter.
+* ``digest`` -- SHA-256 over the payloads; :meth:`ServiceCheckpoint.verify`
+  rejects corrupted or truncated files.
+
+Event logs are deliberately **not** checkpointed -- they are transient
+observability state; pass a fresh ``log`` to :func:`restore_service`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.utils.logging import EventLog, NullLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.integration.recommender_service import RecommendationService
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ServiceCheckpoint",
+    "checkpoint_service",
+    "restore_service",
+]
+
+#: Current checkpoint format version.
+CHECKPOINT_VERSION = 1
+
+_PICKLE_PROTOCOL = 4
+
+
+def _digest(version: int, facade_payload: bytes, shard_payloads: List[bytes]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"service-checkpoint-v{version}".encode("utf-8"))
+    hasher.update(facade_payload)
+    for payload in shard_payloads:
+        hasher.update(payload)
+    return hasher.hexdigest()
+
+
+@dataclass
+class ServiceCheckpoint:
+    """One captured service state; see the module docstring for the format."""
+
+    version: int
+    n_shards: int
+    n_replicas: int
+    shard_payloads: List[bytes]
+    facade_payload: bytes
+    history_cursor: int
+    next_ticket: int
+    digest: str = ""
+
+    def verify(self) -> None:
+        """Raise ``ValueError`` on version mismatch or payload corruption."""
+        if self.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {self.version}; this build "
+                f"reads version {CHECKPOINT_VERSION}"
+            )
+        expected = _digest(self.version, self.facade_payload, self.shard_payloads)
+        if self.digest != expected:
+            raise ValueError(
+                "checkpoint integrity check failed: payload digest "
+                f"{expected[:12]}... does not match recorded {self.digest[:12]}..."
+            )
+
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Write the checkpoint to ``path`` (atomic via a temp file)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(pickle.dumps(self, protocol=_PICKLE_PROTOCOL))
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path) -> "ServiceCheckpoint":
+        """Read and :meth:`verify` a checkpoint from ``path``."""
+        try:
+            data = pickle.loads(Path(path).read_bytes())
+        except Exception as exc:
+            raise ValueError(f"{path} does not contain a service checkpoint") from exc
+        if not isinstance(data, cls):
+            raise ValueError(f"{path} does not contain a service checkpoint")
+        data.verify()
+        return data
+
+
+def checkpoint_service(service: "RecommendationService") -> ServiceCheckpoint:
+    """Capture ``service`` into a verified :class:`ServiceCheckpoint`."""
+    shard_payloads = [
+        pickle.dumps(shard, protocol=_PICKLE_PROTOCOL) for shard in service.shards
+    ]
+    facade_payload = pickle.dumps(
+        {
+            "catalog": service.catalog,
+            "registry": service.registry,
+            "history_records": list(service.history._records),
+            "tolerance": service.tolerance,
+            "seed": service._seed,
+            "app_shard": dict(service._app_shard),
+            "ticket_order": list(service._ticket_shard.items()),
+        },
+        protocol=_PICKLE_PROTOCOL,
+    )
+    checkpoint = ServiceCheckpoint(
+        version=CHECKPOINT_VERSION,
+        n_shards=service.shard_map.n_shards,
+        n_replicas=service.shard_map.n_replicas,
+        shard_payloads=shard_payloads,
+        facade_payload=facade_payload,
+        history_cursor=len(service.history),
+        next_ticket=service._next_ticket,
+        digest="",
+    )
+    checkpoint.digest = _digest(
+        checkpoint.version, checkpoint.facade_payload, checkpoint.shard_payloads
+    )
+    return checkpoint
+
+
+def restore_service(
+    checkpoint: ServiceCheckpoint, log: Optional[EventLog] = None
+) -> "RecommendationService":
+    """Rebuild a service from ``checkpoint``; continues bit-identically.
+
+    ``log`` attaches a fresh event log to the restored service (logs are not
+    part of the checkpointed state).
+    """
+    from repro.integration.ndp import RunHistoryStore
+    from repro.integration.recommender_service import RecommendationService
+    from repro.integration.sharding import ShardMap
+
+    checkpoint.verify()
+    facade = pickle.loads(checkpoint.facade_payload)
+    service = RecommendationService.__new__(RecommendationService)
+    service.catalog = facade["catalog"]
+    service.registry = facade["registry"]
+    history = RunHistoryStore()
+    history.extend(facade["history_records"][: checkpoint.history_cursor])
+    service.history = history
+    service.tolerance = facade["tolerance"]
+    service._seed = facade["seed"]
+    service.log = log if log is not None else NullLog()
+    service.shard_map = ShardMap(checkpoint.n_shards, n_replicas=checkpoint.n_replicas)
+    service._shards = [pickle.loads(payload) for payload in checkpoint.shard_payloads]
+    service._app_shard = dict(facade["app_shard"])
+    service._ticket_shard = dict(facade["ticket_order"])
+    service._next_ticket = int(checkpoint.next_ticket)
+    return service

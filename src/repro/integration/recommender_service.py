@@ -1,18 +1,32 @@
-"""The recommendation service wiring BanditWare to the platform and the cluster."""
+"""The recommendation service wiring BanditWare to the platform and the cluster.
+
+Since the sharded serving refactor the service is a **facade** over
+per-application :class:`~repro.integration.sharding.ServiceShard`\\ s: a
+:class:`~repro.integration.sharding.ShardMap` consistently hashes each
+application onto one of ``n_shards`` independent shards, each owning its
+applications' recommenders, ticket table and published model snapshots.
+Cross-shard concerns stay here: the application registry, the run-history
+ledger, deterministic ticket-id issue, and batch-completion pre-flight
+validation that spans all shards before any shard mutates.
+
+The facade API -- and its observable behaviour, decision for decision -- is
+identical to the pre-refactor single-process service for every shard count
+(pinned against ``benchmarks/service_parity_reference.json``).
+"""
 
 from __future__ import annotations
 
-import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.simulator import ClusterSimulator
-from repro.core.banditware import BanditWare, Recommendation
+from repro.core.banditware import BanditWare, ModelSnapshot, Recommendation
 from repro.core.rewards import RewardConfig
 from repro.core.selection import ToleranceConfig
 from repro.hardware import HardwareCatalog, HardwareConfig
 from repro.integration.ndp import ApplicationRegistry, RunHistoryStore
+from repro.integration.sharding import ServiceShard, ShardMap
 from repro.utils.logging import EventLog, NullLog
 from repro.utils.rng import SeedLike
 from repro.workloads.base import RunRecord
@@ -67,7 +81,10 @@ class RecommendationService:
     registered application (each application has its own feature space and its
     own runtime behaviour), a shared hardware catalog, the run-history store,
     and optionally a cluster backend used by :meth:`run_workflow` to execute
-    the recommendation end to end.
+    the recommendation end to end.  Application state lives in ``n_shards``
+    independent :class:`~repro.integration.sharding.ServiceShard`\\ s behind
+    this facade; requests for different applications on different shards
+    share no mutable state.
 
     Parameters
     ----------
@@ -84,6 +101,10 @@ class RecommendationService:
         Seed shared by the per-application recommenders' exploration.
     log:
         Optional event log of service decisions.
+    n_shards:
+        Number of service shards applications are consistently hashed onto.
+        The shard count never changes observable behaviour -- only which
+        state can be served/updated concurrently.
     """
 
     def __init__(
@@ -94,6 +115,7 @@ class RecommendationService:
         tolerance: Optional[ToleranceConfig] = None,
         seed: SeedLike = None,
         log: Optional[EventLog] = None,
+        n_shards: int = 1,
     ):
         self.catalog = catalog
         self.registry = registry or ApplicationRegistry()
@@ -101,10 +123,49 @@ class RecommendationService:
         self.tolerance = tolerance or ToleranceConfig()
         self._seed = seed
         self.log = log if log is not None else NullLog()
-        self._recommenders: Dict[str, BanditWare] = {}
-        self._priorities: Dict[str, int] = {}
-        self._tickets: Dict[str, WorkflowTicket] = {}
-        self._ticket_counter = itertools.count(1)
+        self.shard_map = ShardMap(n_shards)
+        self._shards = [ServiceShard(i) for i in range(self.shard_map.n_shards)]
+        self._app_shard: Dict[str, int] = {}
+        # Insertion-ordered ticket -> shard index; doubles as the global
+        # submission order (pending_tickets preserves it).
+        self._ticket_shard: Dict[str, int] = {}
+        # Deterministic per-instance ticket counter.  (The seed repository
+        # used a module-level itertools counter, which coupled independent
+        # service instances' ticket sequences and broke checkpoint/restore;
+        # a plain int is per-instance, deterministic and serialisable.)
+        self._next_ticket = 1
+
+    # ------------------------------------------------------------------ #
+    # Shard topology
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of service shards."""
+        return self.shard_map.n_shards
+
+    @property
+    def shards(self) -> List[ServiceShard]:
+        """The shards themselves, in shard-id order (live references)."""
+        return list(self._shards)
+
+    def shard_for(self, application: str) -> int:
+        """The shard id serving one registered application."""
+        self.recommender_for(application)  # raises the canonical KeyError
+        return self._app_shard[application]
+
+    def shard_assignments(self) -> Dict[int, List[str]]:
+        """``{shard_id: [applications...]}`` over all registered applications."""
+        return {shard.shard_id: shard.applications for shard in self._shards}
+
+    def _shard_of_ticket(self, ticket_id: str) -> ServiceShard:
+        if ticket_id not in self._ticket_shard:
+            raise KeyError(f"unknown ticket {ticket_id!r}")
+        return self._shards[self._ticket_shard[ticket_id]]
+
+    def _issue_ticket_id(self) -> str:
+        ticket_id = f"wf-{self._next_ticket:06d}"
+        self._next_ticket += 1
+        return ticket_id
 
     # ------------------------------------------------------------------ #
     def register_application(
@@ -133,6 +194,9 @@ class RecommendationService:
         observation shaping (e.g. the queue-aware ``queue_inclusive`` mode);
         ``priority`` is the priority class stamped on the application's
         workflow tickets for priority/preemption scheduling.
+
+        The application is consistently hashed onto one of the service's
+        shards, which owns its recommender and tickets from then on.
         """
         info = self.registry.register(name, owner, feature_names, description)
         recommender = BanditWare(
@@ -142,44 +206,69 @@ class RecommendationService:
             seed=self._seed,
             reward=reward,
         )
-        self._priorities[name] = int(priority)
+        shard_id = self.shard_map.shard_for(name)
+        self._app_shard[name] = shard_id
+        self._shards[shard_id].adopt_application(name, recommender, priority=priority)
         if warm_start_history and self.history.records_for(name):
             frame = self.history.frame_for(name)
             ingested = recommender.warm_start(frame)
             self.log.record("service", "warm_start", application=name, rows=ingested)
-        self._recommenders[name] = recommender
         self.log.record("service", "application_registered", application=name, owner=owner)
         return recommender
 
     def recommender_for(self, application: str) -> BanditWare:
         """The BanditWare instance serving one application."""
-        if application not in self._recommenders:
+        if application not in self._app_shard:
             raise KeyError(
                 f"application {application!r} has no recommender; register it first"
             )
-        return self._recommenders[application]
+        return self._shards[self._app_shard[application]].recommender_for(application)
 
     def priority_for(self, application: str) -> int:
         """The priority class of one registered application."""
-        if application not in self._priorities:
+        if application not in self._app_shard:
             raise KeyError(
                 f"application {application!r} has no recommender; register it first"
             )
-        return self._priorities[application]
+        return self._shards[self._app_shard[application]].priority_for(application)
+
+    # ------------------------------------------------------------------ #
+    # Read path: copy-on-write snapshots
+    # ------------------------------------------------------------------ #
+    def model_snapshot(self, application: str) -> ModelSnapshot:
+        """The application's current published model snapshot.
+
+        Snapshots are immutable copies republished only after a mutation, so
+        readers never observe a half-applied ``observe`` batch and never
+        block on one (copy-on-write).
+        """
+        self.recommender_for(application)  # raises the canonical KeyError
+        return self._shards[self._app_shard[application]].snapshot_for(application)
+
+    def predict_runtimes(self, application: str, features: Dict[str, float]) -> Dict[str, float]:
+        """Estimated runtime of ``features`` on every arm, from the snapshot.
+
+        This is the lock-free read path: predictions come from the
+        application's published :class:`~repro.core.ModelSnapshot`, not from
+        the live models.
+        """
+        return self.model_snapshot(application).predict_runtimes(features)
 
     # ------------------------------------------------------------------ #
     def submit_workflow(self, application: str, features: Dict[str, float]) -> WorkflowTicket:
         """Ask for a hardware recommendation for one incoming workflow."""
-        recommender = self.recommender_for(application)
-        recommendation = recommender.recommend(features)
+        self.recommender_for(application)  # raises the canonical KeyError
+        shard = self._shards[self._app_shard[application]]
+        recommendation = shard.recommend(application, features)
         ticket = WorkflowTicket(
-            ticket_id=f"wf-{next(self._ticket_counter):06d}",
+            ticket_id=self._issue_ticket_id(),
             application=application,
             features={k: float(v) for k, v in features.items()},
             recommendation=recommendation,
-            priority=self._priorities.get(application, 0),
+            priority=shard.priority_for(application),
         )
-        self._tickets[ticket.ticket_id] = ticket
+        shard.add_ticket(ticket)
+        self._ticket_shard[ticket.ticket_id] = shard.shard_id
         self.log.record(
             "service",
             "recommendation",
@@ -199,18 +288,21 @@ class RecommendationService:
         element in order (the recommender's policy state advances one step
         per workflow); tickets are issued in submission order.
         """
-        recommender = self.recommender_for(application)
-        recommendations = recommender.recommend_batch(list(features_batch))
+        self.recommender_for(application)  # raises the canonical KeyError
+        shard = self._shards[self._app_shard[application]]
+        recommendations = shard.recommend_batch(application, list(features_batch))
+        priority = shard.priority_for(application)
         tickets: List[WorkflowTicket] = []
         for features, recommendation in zip(features_batch, recommendations):
             ticket = WorkflowTicket(
-                ticket_id=f"wf-{next(self._ticket_counter):06d}",
+                ticket_id=self._issue_ticket_id(),
                 application=application,
                 features={k: float(v) for k, v in features.items()},
                 recommendation=recommendation,
-                priority=self._priorities.get(application, 0),
+                priority=priority,
             )
-            self._tickets[ticket.ticket_id] = ticket
+            shard.add_ticket(ticket)
+            self._ticket_shard[ticket.ticket_id] = shard.shard_id
             tickets.append(ticket)
         self.log.record(
             "service",
@@ -243,9 +335,10 @@ class RecommendationService:
 
         The whole batch is validated -- tickets known, uncompleted and unique,
         runtimes and queue delays finite and non-negative, slowdowns finite
-        and positive -- before *any* recommender mutates, so a rejected batch
-        leaves every recommender and every ticket untouched and can safely be
-        retried after fixing the bad entry.
+        and positive -- before *any* shard mutates.  A batch may span every
+        shard of the service; the pre-flight runs across all of them, so a
+        rejected batch leaves every shard's recommenders and tickets
+        untouched and can safely be retried after fixing the bad entry.
         """
         resolved = []
         seen = set()
@@ -253,14 +346,17 @@ class RecommendationService:
             ticket_id, runtime_seconds = entry[0], entry[1]
             queue_seconds = entry[2] if len(entry) > 2 else 0.0
             slowdown = entry[3] if len(entry) > 3 else None
-            if ticket_id not in self._tickets:
-                raise KeyError(f"unknown ticket {ticket_id!r}")
+            shard = self._shard_of_ticket(ticket_id)  # raises on unknown ids
             if ticket_id in seen:
                 raise ValueError(f"ticket {ticket_id!r} appears twice in the batch")
             seen.add(ticket_id)
-            ticket = self._tickets[ticket_id]
+            ticket = shard.ticket(ticket_id)
             if ticket.completed:
-                raise ValueError(f"ticket {ticket_id!r} was already completed")
+                raise ValueError(
+                    f"ticket {ticket_id!r} was already completed "
+                    f"(observed runtime {ticket.observed_runtime}s); completions "
+                    "are observed exactly once and double reports are rejected"
+                )
             runtime = float(runtime_seconds)
             if not math.isfinite(runtime) or runtime < 0:
                 raise ValueError(
@@ -285,8 +381,9 @@ class RecommendationService:
         for entry in resolved:
             by_application.setdefault(entry[0].application, []).append(entry)
         for application, batch in by_application.items():
-            recommender = self.recommender_for(application)
-            recommender.observe_batch(
+            shard = self._shards[self._app_shard[application]]
+            shard.observe_batch(
+                application,
                 [ticket.features for ticket, _, _, _ in batch],
                 [ticket.recommendation.hardware for ticket, _, _, _ in batch],
                 [runtime for _, runtime, _, _ in batch],
@@ -326,14 +423,21 @@ class RecommendationService:
         observed/planned runtime ratio measured by an interference-aware
         cluster; it shapes the signal only in the ``slowdown_inclusive``
         reward mode (and is recorded on the ticket for auditing).
+
+        Completing an already-completed ticket raises ``ValueError``: a
+        double report would silently re-observe the runtime and skew the
+        application's models.
         """
-        if ticket_id not in self._tickets:
-            raise KeyError(f"unknown ticket {ticket_id!r}")
-        ticket = self._tickets[ticket_id]
+        shard = self._shard_of_ticket(ticket_id)
+        ticket = shard.ticket(ticket_id)
         if ticket.completed:
-            raise ValueError(f"ticket {ticket_id!r} was already completed")
-        recommender = self.recommender_for(ticket.application)
-        recommender.observe(
+            raise ValueError(
+                f"ticket {ticket_id!r} was already completed "
+                f"(observed runtime {ticket.observed_runtime}s); completions "
+                "are observed exactly once and double reports are rejected"
+            )
+        shard.observe(
+            ticket.application,
             ticket.features,
             ticket.recommendation.hardware,
             runtime_seconds,
@@ -374,10 +478,43 @@ class RecommendationService:
 
     # ------------------------------------------------------------------ #
     def pending_tickets(self) -> List[WorkflowTicket]:
-        """Tickets that have been submitted but not completed."""
-        return [t for t in self._tickets.values() if not t.completed]
+        """Tickets that have been submitted but not completed (submission order)."""
+        out: List[WorkflowTicket] = []
+        for ticket_id, shard_id in self._ticket_shard.items():
+            ticket = self._shards[shard_id].ticket(ticket_id)
+            if not ticket.completed:
+                out.append(ticket)
+        return out
 
     def ticket(self, ticket_id: str) -> WorkflowTicket:
-        if ticket_id not in self._tickets:
-            raise KeyError(f"unknown ticket {ticket_id!r}")
-        return self._tickets[ticket_id]
+        return self._shard_of_ticket(ticket_id).ticket(ticket_id)
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> "ServiceCheckpoint":
+        """Snapshot the whole service into a versioned, restorable checkpoint.
+
+        See :mod:`repro.integration.checkpoint` for the format.  The
+        checkpoint captures every shard's state (recommender matrices and
+        policy/exploration state, ticket table), the registry, the
+        run-history ledger with its cursor, and the ticket counter;
+        :func:`~repro.integration.checkpoint.restore_service` rebuilds a
+        service that continues **bit-identically** to this one.
+        """
+        from repro.integration.checkpoint import checkpoint_service
+
+        return checkpoint_service(self)
+
+    def save_checkpoint(self, path) -> None:
+        """Write :meth:`checkpoint` to ``path``."""
+        self.checkpoint().save(path)
+
+    @classmethod
+    def restore(cls, checkpoint, log: Optional[EventLog] = None) -> "RecommendationService":
+        """Rebuild a service from a :class:`ServiceCheckpoint` (or a path)."""
+        from repro.integration.checkpoint import ServiceCheckpoint, restore_service
+
+        if not hasattr(checkpoint, "shard_payloads"):
+            checkpoint = ServiceCheckpoint.load(checkpoint)
+        return restore_service(checkpoint, log=log)

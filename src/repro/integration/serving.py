@@ -1,0 +1,252 @@
+"""Request coalescing and admission control for the sharded serving layer.
+
+Two serving-side mechanisms sit between raw traffic and the
+:class:`~repro.integration.recommender_service.RecommendationService` facade:
+
+* :class:`RequestBatcher` buffers incoming ``recommend`` and ``observe``
+  requests and flushes them through the batched entry points
+  (``submit_workflows`` / ``complete_workflows``) the core gained in PR 1.
+  Per application the batched decision stream is **identical** to issuing
+  the same calls one by one (``recommend_batch`` advances the policy one
+  step per workflow; ``observe_batch`` refits once per arm with the same
+  final state), so coalescing trades nothing but per-call overhead.
+* :class:`AdmissionController` enforces bounded per-shard queues.  A full
+  queue rejects the request with :class:`BackpressureError` carrying an
+  explicit ``retry_after_seconds`` estimate -- requests are *never* silently
+  dropped, and an admitted request is never evicted.
+
+Both are synchronous building blocks: the event-driven load harness
+(:mod:`repro.evaluation.service_load`) composes them into a full
+arrival/queue/drain loop, and they behave identically under a real thread
+per shard because shards share no mutable state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.integration.recommender_service import RecommendationService, WorkflowTicket
+
+__all__ = ["BackpressureError", "ShardQueue", "AdmissionController", "RequestBatcher"]
+
+
+class BackpressureError(RuntimeError):
+    """A shard's admission queue is full; retry after ``retry_after_seconds``.
+
+    Raised instead of silently dropping the request: the caller owns the
+    retry decision, and the error carries everything needed to make it --
+    the saturated shard, its queue depth/capacity, and the controller's
+    estimate of when a slot frees up (queue depth over the shard's drain
+    rate).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        queue_depth: int,
+        capacity: int,
+        retry_after_seconds: float,
+    ):
+        self.shard_id = int(shard_id)
+        self.queue_depth = int(queue_depth)
+        self.capacity = int(capacity)
+        self.retry_after_seconds = float(retry_after_seconds)
+        super().__init__(
+            f"shard {self.shard_id} admission queue is full "
+            f"({self.queue_depth}/{self.capacity}); retry after "
+            f"{self.retry_after_seconds:.3f}s"
+        )
+
+
+class ShardQueue:
+    """A bounded FIFO admission queue for one shard, with traffic counters."""
+
+    def __init__(self, shard_id: int, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.shard_id = int(shard_id)
+        self.capacity = int(capacity)
+        self._items: Deque = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.drained = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item) -> None:
+        """Enqueue one admitted request (the controller checks capacity)."""
+        self._items.append(item)
+        self.admitted += 1
+
+    def pop_batch(self, max_batch: int) -> List:
+        """Dequeue up to ``max_batch`` requests in FIFO order."""
+        batch: List = []
+        while self._items and len(batch) < max_batch:
+            batch.append(self._items.popleft())
+        self.drained += len(batch)
+        return batch
+
+
+class AdmissionController:
+    """Bounded per-shard queues with explicit reject-with-retry-after.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard queues to maintain (one per service shard).
+    capacity:
+        Maximum queued requests per shard.
+    drain_rate_per_second:
+        Estimated per-shard service rate used to compute
+        ``retry_after_seconds`` on rejection.  When unknown, the controller
+        reports the queue depth in "requests to drain" units (rate 1.0).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        capacity: int = 256,
+        drain_rate_per_second: Optional[float] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        rate = 1.0 if drain_rate_per_second is None else float(drain_rate_per_second)
+        if not rate > 0:
+            raise ValueError(f"drain_rate_per_second must be positive, got {rate}")
+        self.drain_rate_per_second = rate
+        self._queues = [ShardQueue(i, capacity) for i in range(int(n_shards))]
+
+    @property
+    def queues(self) -> List[ShardQueue]:
+        return list(self._queues)
+
+    def queue(self, shard_id: int) -> ShardQueue:
+        return self._queues[shard_id]
+
+    def depth(self, shard_id: int) -> int:
+        return len(self._queues[shard_id])
+
+    def admit(self, shard_id: int, item) -> None:
+        """Admit ``item`` to the shard's queue or raise :class:`BackpressureError`.
+
+        The contract is all-or-nothing: an admitted request sits in the
+        queue until drained; a rejected request leaves no trace beyond the
+        rejection counter.
+        """
+        queue = self._queues[shard_id]
+        if queue.full:
+            queue.rejected += 1
+            raise BackpressureError(
+                shard_id=shard_id,
+                queue_depth=len(queue),
+                capacity=queue.capacity,
+                retry_after_seconds=len(queue) / self.drain_rate_per_second,
+            )
+        queue.push(item)
+
+    def pop_batch(self, shard_id: int, max_batch: int) -> List:
+        return self._queues[shard_id].pop_batch(max_batch)
+
+    def stats(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard admitted/rejected/drained/depth counters."""
+        return {
+            q.shard_id: {
+                "admitted": q.admitted,
+                "rejected": q.rejected,
+                "drained": q.drained,
+                "depth": len(q),
+            }
+            for q in self._queues
+        }
+
+
+class RequestBatcher:
+    """Coalesce recommend/observe traffic into the batched service entry points.
+
+    Requests accumulate in submission order and flush through
+    ``submit_workflows`` / ``complete_workflows`` grouped by application
+    (first-occurrence order).  Per application the decisions are bit-identical
+    to unbatched calls in the same relative order; what coalescing changes is
+    only *when* the service sees the requests -- at :meth:`flush` -- and hence
+    the interleaving of ticket ids across applications, which the facade
+    contract deliberately leaves unspecified between applications.
+
+    ``max_batch`` bounds memory: reaching it triggers an automatic flush.
+    """
+
+    def __init__(self, service: RecommendationService, max_batch: int = 64):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self._recommend_buffer: List[Tuple[str, Dict[str, float]]] = []
+        self._completion_buffer: List[tuple] = []
+        self.flushes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_recommends(self) -> int:
+        return len(self._recommend_buffer)
+
+    @property
+    def pending_completions(self) -> int:
+        return len(self._completion_buffer)
+
+    def enqueue_recommend(
+        self, application: str, features: Dict[str, float]
+    ) -> Optional[List[WorkflowTicket]]:
+        """Buffer one recommendation request; auto-flush at ``max_batch``.
+
+        Returns the flushed tickets when this enqueue triggered a flush,
+        else ``None``.
+        """
+        self.service.recommender_for(application)  # fail fast on unknown apps
+        self._recommend_buffer.append((application, dict(features)))
+        if len(self._recommend_buffer) >= self.max_batch:
+            return self.flush()
+        return None
+
+    def enqueue_completion(
+        self,
+        ticket_id: str,
+        runtime_seconds: float,
+        queue_seconds: float = 0.0,
+        slowdown: Optional[float] = None,
+    ) -> None:
+        """Buffer one completion report for the next :meth:`flush`."""
+        self._completion_buffer.append((ticket_id, runtime_seconds, queue_seconds, slowdown))
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> List[WorkflowTicket]:
+        """Flush completions then recommendations; return new tickets in enqueue order.
+
+        Completions flush first so a recommendation enqueued after a
+        completion observes the updated models, matching the unbatched
+        ordering of the two calls.  The whole completion batch is validated
+        across shards before any mutation (the ``complete_workflows``
+        contract), so a bad completion leaves the buffered batch intact and
+        re-raisable after repair.
+        """
+        if self._completion_buffer:
+            # Leave the buffer untouched until the batch is accepted: on a
+            # validation error nothing has mutated and the caller may fix
+            # the offending entry and flush again.
+            self.service.complete_workflows(self._completion_buffer)
+            self._completion_buffer = []
+        tickets: List[Optional[WorkflowTicket]] = [None] * len(self._recommend_buffer)
+        by_application: Dict[str, List[int]] = {}
+        for index, (application, _) in enumerate(self._recommend_buffer):
+            by_application.setdefault(application, []).append(index)
+        for application, indices in by_application.items():
+            batch = [self._recommend_buffer[i][1] for i in indices]
+            for index, ticket in zip(indices, self.service.submit_workflows(application, batch)):
+                tickets[index] = ticket
+        self._recommend_buffer = []
+        self.flushes += 1
+        return [t for t in tickets if t is not None]

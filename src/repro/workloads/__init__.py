@@ -28,6 +28,7 @@ from repro.workloads.arrivals import (
     ArrivalProcess,
     BurstyArrivals,
     ClosedLoopArrivals,
+    HotspotArrivals,
     PoissonArrivals,
 )
 from repro.workloads.base import (
@@ -47,6 +48,7 @@ __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "ClosedLoopArrivals",
+    "HotspotArrivals",
     "LLMInferenceWorkload",
     "gpu_catalog",
     "RunRecord",

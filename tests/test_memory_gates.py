@@ -73,3 +73,28 @@ def test_array_kernel_stress_memory_budget(request):
 
     peak = _traced_peak_mb(lambda: _kernel_stress(128, 256, 1024))
     assert peak < _budget_mb(request), f"kernel stress peaked at {peak:.1f} MiB"
+
+
+@pytest.mark.limit_memory("8 MB")
+def test_sustained_service_traffic_memory_budget(request):
+    """A sustained 600-request mixed-traffic run stays within its budget.
+
+    The serving layer retains a ticket per request by design (history is
+    the product), so the gate pins the *constant factor*: it catches model
+    snapshots piling up per request instead of per model version, retry
+    events duplicating request payloads, or the admission queues keeping
+    references to drained work.
+    """
+    from repro.evaluation.service_load import ServiceLoadConfig, run_service_load
+
+    def sustained():
+        config = ServiceLoadConfig(
+            n_shards=2,
+            n_requests=600,
+            queue_capacity=32,
+            cost_per_request=0.002,
+        )
+        run_service_load("hotspot", config)
+
+    peak = _traced_peak_mb(sustained)
+    assert peak < _budget_mb(request), f"sustained traffic peaked at {peak:.1f} MiB"

@@ -1,0 +1,156 @@
+"""Tests for the versioned service checkpoint format (durability layer).
+
+The contract: ``checkpoint()`` captures the full serving state (bandit
+models, ticket tables, history, shard topology), ``restore()`` rebuilds a
+bit-identical service, and corrupted or incompatible checkpoints are
+rejected loudly instead of restoring garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.capture_service_parity import build_reference_service
+from repro.integration import (
+    CHECKPOINT_VERSION,
+    RecommendationService,
+    ServiceCheckpoint,
+    checkpoint_service,
+    restore_service,
+)
+from repro.utils.logging import EventLog
+
+
+def _drive(service, workloads, n_rounds, seed=5, complete=True):
+    rng = np.random.default_rng(seed)
+    apps = list(workloads)
+    tickets = []
+    for i in range(n_rounds):
+        app = apps[i % len(apps)]
+        ticket = service.submit_workflow(app, workloads[app].sample_features(rng))
+        if complete:
+            runtime = workloads[app].observed_runtime(
+                ticket.features, ticket.recommendation.hardware, rng
+            )
+            service.complete_workflow(ticket.ticket_id, runtime)
+        tickets.append(ticket)
+    return tickets
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_restore_matches_original_state(self, n_shards):
+        service, workloads = build_reference_service(n_shards=n_shards)
+        _drive(service, workloads, 24)
+        restored = RecommendationService.restore(service.checkpoint())
+
+        assert restored.n_shards == service.n_shards
+        assert restored.shard_assignments() == service.shard_assignments()
+        assert len(restored.history) == len(service.history)
+        assert restored.history.hardware_usage() == service.history.hardware_usage()
+        assert restored.history.total_runtime() == service.history.total_runtime()
+        probe_rng = np.random.default_rng(123)
+        for app in workloads:
+            features = workloads[app].sample_features(probe_rng)
+            assert restored.predict_runtimes(app, features) == service.predict_runtimes(
+                app, features
+            )
+
+    def test_resumed_decisions_are_identical(self):
+        service, workloads = build_reference_service(n_shards=2)
+        _drive(service, workloads, 24)
+        restored = RecommendationService.restore(service.checkpoint())
+        original_tickets = _drive(service, workloads, 12, seed=77)
+        restored_tickets = _drive(restored, workloads, 12, seed=77)
+        for a, b in zip(original_tickets, restored_tickets):
+            assert a.ticket_id == b.ticket_id
+            assert a.recommendation.hardware.name == b.recommendation.hardware.name
+            assert a.recommendation.explored == b.recommendation.explored
+
+    def test_pending_tickets_survive_and_can_complete(self):
+        service, workloads = build_reference_service(n_shards=2)
+        pending = _drive(service, workloads, 6, complete=False)
+        restored = RecommendationService.restore(service.checkpoint())
+        for ticket in pending:
+            copy = restored.ticket(ticket.ticket_id)
+            assert not copy.completed
+            assert copy.recommendation.hardware.name == ticket.recommendation.hardware.name
+        restored.complete_workflow(pending[0].ticket_id, 11.0)
+        assert restored.ticket(pending[0].ticket_id).completed
+        # The original service is untouched -- restore is a copy, not a view.
+        assert not service.ticket(pending[0].ticket_id).completed
+
+    def test_save_and_load_from_disk(self, tmp_path):
+        service, workloads = build_reference_service(n_shards=2)
+        _drive(service, workloads, 18)
+        path = tmp_path / "service.ckpt"
+        service.save_checkpoint(path)
+        loaded = ServiceCheckpoint.load(path)
+        assert loaded.version == CHECKPOINT_VERSION
+        restored = restore_service(loaded)
+        assert restored.history.hardware_usage() == service.history.hardware_usage()
+        assert restored.history.total_runtime() == service.history.total_runtime()
+
+    def test_restore_accepts_a_path_directly(self, tmp_path):
+        service, workloads = build_reference_service(n_shards=2)
+        _drive(service, workloads, 10)
+        path = tmp_path / "service.ckpt"
+        service.save_checkpoint(path)
+        restored = RecommendationService.restore(path)
+        assert restored.n_shards == 2
+        assert len(restored.history) == len(service.history)
+
+
+class TestCheckpointRejection:
+    def test_version_mismatch_is_rejected(self):
+        service, workloads = build_reference_service()
+        _drive(service, workloads, 6)
+        checkpoint = checkpoint_service(service)
+        stale = ServiceCheckpoint(
+            version=CHECKPOINT_VERSION + 1,
+            n_shards=checkpoint.n_shards,
+            n_replicas=checkpoint.n_replicas,
+            shard_payloads=checkpoint.shard_payloads,
+            facade_payload=checkpoint.facade_payload,
+            history_cursor=checkpoint.history_cursor,
+            next_ticket=checkpoint.next_ticket,
+            digest=checkpoint.digest,
+        )
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            restore_service(stale)
+
+    def test_corrupted_payload_fails_integrity_check(self, tmp_path):
+        service, workloads = build_reference_service()
+        _drive(service, workloads, 6)
+        path = tmp_path / "service.ckpt"
+        service.save_checkpoint(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            RecommendationService.restore(path)
+
+    def test_non_checkpoint_file_is_rejected(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(ValueError):
+            ServiceCheckpoint.load(path)
+
+
+class TestRestoredLogging:
+    def test_restored_service_defaults_to_null_log(self):
+        service, workloads = build_reference_service()
+        _drive(service, workloads, 4)
+        restored = RecommendationService.restore(service.checkpoint())
+        # Serving through the restored facade must not raise even though no
+        # log was supplied -- the EventLog is runtime-only state.
+        _drive(restored, workloads, 4, seed=8)
+
+    def test_restored_service_accepts_a_fresh_log(self):
+        service, workloads = build_reference_service()
+        _drive(service, workloads, 4)
+        log = EventLog()
+        restored = RecommendationService.restore(service.checkpoint(), log=log)
+        _drive(restored, workloads, 2, seed=8)
+        assert log.filter(event="recommendation")

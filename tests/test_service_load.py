@@ -1,0 +1,167 @@
+"""Tests for the serving-layer traffic harness (:mod:`repro.evaluation.service_load`).
+
+Pins the properties the service benchmark relies on: deterministic replay,
+request conservation (every offered request is completed or explicitly
+abandoned after rejections -- nothing vanishes), the traffic-mix
+distributions, and the headline N-shard throughput scaling on the Zipfian
+mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    HotspotAppMix,
+    ServiceLoadConfig,
+    ZipfianAppMix,
+    format_service_load_report,
+    run_service_load,
+)
+from repro.workloads import HotspotArrivals
+
+
+# Fixed serving cost keeps these tests fast and machine-independent; the
+# simulated clock makes results deterministic given (config, cost).
+FAST = dict(n_requests=300, cost_per_request=0.002)
+
+
+class TestZipfianAppMix:
+    def test_weights_sum_to_one_and_decrease(self):
+        weights = ZipfianAppMix(n_apps=16, exponent=1.1).weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_sampling_follows_the_skew(self):
+        mix = ZipfianAppMix(n_apps=8, exponent=1.2)
+        rng = np.random.default_rng(0)
+        draws = [mix.choose(0.0, rng) for _ in range(4000)]
+        counts = np.bincount(draws, minlength=8)
+        assert counts[0] > counts[-1] * 2
+        assert counts.sum() == 4000
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="n_apps"):
+            ZipfianAppMix(n_apps=0)
+        with pytest.raises(ValueError, match="exponent"):
+            ZipfianAppMix(n_apps=4, exponent=-1.0)
+
+
+class TestHotspotAppMix:
+    def test_hot_window_forces_the_hot_app(self):
+        mix = HotspotAppMix(
+            n_apps=6,
+            hot_app=2,
+            hot_probability=1.0,
+            hotspot_start=10.0,
+            hotspot_duration=5.0,
+        )
+        rng = np.random.default_rng(1)
+        inside = {mix.choose(12.0, rng) for _ in range(50)}
+        assert inside == {2}
+        outside = {mix.choose(30.0, rng) for _ in range(200)}
+        assert len(outside) > 1  # plain Zipf outside the window
+
+    def test_validates_hot_app(self):
+        with pytest.raises(ValueError, match="hot_app"):
+            HotspotAppMix(n_apps=4, hot_app=9)
+
+
+class TestHotspotArrivals:
+    def test_times_are_strictly_increasing(self):
+        arrivals = HotspotArrivals(
+            base_rate_per_second=50.0, hotspot_start=1.0, hotspot_duration=2.0
+        )
+        times = arrivals.arrival_times(300, np.random.default_rng(2))
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_hot_window_is_denser(self):
+        arrivals = HotspotArrivals(
+            base_rate_per_second=50.0,
+            hotspot_factor=8.0,
+            hotspot_start=2.0,
+            hotspot_duration=2.0,
+        )
+        times = np.asarray(arrivals.arrival_times(2000, np.random.default_rng(3)))
+        in_window = ((times >= 2.0) & (times < 4.0)).sum()
+        before = ((times >= 0.0) & (times < 2.0)).sum()
+        assert in_window > before * 3
+
+    def test_validates_rates(self):
+        with pytest.raises(ValueError, match="rate"):
+            HotspotArrivals(base_rate_per_second=0.0)
+        with pytest.raises(ValueError, match="hotspot_factor"):
+            HotspotArrivals(base_rate_per_second=1.0, hotspot_factor=0.5)
+
+
+class TestRunServiceLoad:
+    def test_deterministic_replay(self):
+        config = ServiceLoadConfig(n_shards=2, seed=7, **FAST)
+        first = run_service_load("zipfian", config).to_dict()
+        second = run_service_load("zipfian", config).to_dict()
+        assert first == second
+
+    @pytest.mark.parametrize("mix", ["zipfian", "hotspot", "bursty"])
+    def test_every_request_is_accounted_for(self, mix):
+        config = ServiceLoadConfig(n_shards=2, queue_capacity=16, **FAST)
+        result = run_service_load(mix, config)
+        assert result.completed + result.abandoned == config.n_requests
+        # abandonment only happens after max_retries explicit rejections
+        if result.abandoned:
+            assert result.rejected_admissions > result.abandoned
+        assert result.throughput_rps > 0
+        assert result.latency_p50 <= result.latency_p95 <= result.latency_p99
+
+    def test_four_shards_at_least_double_single_shard_zipfian(self):
+        results = []
+        for n_shards in (1, 4):
+            config = ServiceLoadConfig(
+                n_shards=n_shards, saturation_shards=4, seed=0, **FAST
+            )
+            results.append(run_service_load("zipfian", config))
+        ratio = results[1].throughput_rps / results[0].throughput_rps
+        assert ratio >= 2.0
+
+    def test_unknown_mix_is_rejected(self):
+        config = ServiceLoadConfig(**FAST)
+        with pytest.raises(ValueError, match="unknown mix"):
+            run_service_load("diurnal", config)
+
+    def test_result_dict_is_json_shaped(self):
+        config = ServiceLoadConfig(n_shards=1, **FAST)
+        result = run_service_load("bursty", config).to_dict()
+        for key in (
+            "mix",
+            "n_shards",
+            "throughput_rps",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "completed",
+            "rejected_admissions",
+            "retries",
+            "abandoned",
+            "clock",
+        ):
+            assert key in result
+        assert result["clock"] == "simulated"
+
+    def test_shard_utilisation_covers_every_shard(self):
+        config = ServiceLoadConfig(n_shards=3, **FAST)
+        result = run_service_load("zipfian", config)
+        assert len(result.shard_utilisation) == 3
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in result.shard_utilisation)
+
+
+class TestReporting:
+    def test_report_lists_all_mixes_and_the_contract(self):
+        results = [
+            run_service_load(mix, ServiceLoadConfig(n_shards=1, **FAST))
+            for mix in ("zipfian", "hotspot", "bursty")
+        ]
+        report = format_service_load_report(results)
+        for mix in ("zipfian", "hotspot", "bursty"):
+            assert mix in report
+        assert "p99" in report
+        assert "simulated" in report
