@@ -732,29 +732,79 @@ def _kernel_stress(n_pods: int, node_cpus: int, node_memory_gb: float, profile: 
     return kernel_profile
 
 
+def _event_microbench(n: int = 50_000) -> Dict:
+    """Per-event construction cost: dict-payload push vs payload-free frontier push.
+
+    A micro-bench note for the kernel suite: ``push_frontier`` builds the
+    event via ``__new__`` with an interned kind, a slot-field node slot and
+    ``payload=None``, skipping the kwargs dict and keyword plumbing of the
+    generic ``push`` path the hot loop used to take.
+    """
+    from repro.cluster.events import EventQueue
+
+    q = EventQueue()
+    started = time.perf_counter()
+    for i in range(n):
+        q.push(float(i), "pod_finished", pod_name="x", attempt=0, epoch=i)
+    push_seconds = time.perf_counter() - started
+    q = EventQueue()
+    started = time.perf_counter()
+    for i in range(n):
+        q.push_frontier(float(i), 0)
+    frontier_seconds = time.perf_counter() - started
+    return {
+        "events": n,
+        "push_ns_per_event": push_seconds / n * 1e9,
+        "push_frontier_ns_per_event": frontier_seconds / n * 1e9,
+        "frontier_push_speedup": push_seconds / frontier_seconds,
+        "note": (
+            "push_frontier skips the per-event payload dict and keyword "
+            "plumbing (interned kind, slot field, __new__)"
+        ),
+    }
+
+
 def run_kernel_bench(
     repeats: int = 3,
     output: Optional[os.PathLike] = DEFAULT_KERNEL_OUTPUT,
 ) -> Dict:
     """Benchmark the array kernel and pin its bit-identical parity.
 
-    Two things are asserted (CI runs this suite in smoke mode):
+    Asserted (CI runs this suite in smoke mode):
 
     * **kernel parity** -- every registered contention scenario's seed-0
       summary matches ``kernel_parity_reference.json`` (captured at the
-      pre-refactor commit) *exactly*: the structure-of-arrays kernel is a
-      pure representation change, never a semantic one;
-    * **kernel throughput floor** -- the co-residency stress runs at least
-      2x faster than the pre-refactor engine (a loose regression guard; the
-      measured factors are recorded verbatim in the report, whatever they
-      are).
+      pre-array-kernel commit) *exactly*: the structure-of-arrays kernel is
+      a pure representation change, never a semantic one;
+    * **frontier parity** -- every scenario x {FirstFit, LeastSlowdown}
+      fingerprint (summary, decision streams, accounting-row digest)
+      matches ``frontier_parity_reference.json`` (captured at the
+      per-pod-event commit) *exactly*: the per-node finish frontier changes
+      heap traffic, never results;
+    * **event-count bound** -- the stress runs process at most
+      ``4 x n_pods + topology_changes`` events: heap traffic must stay
+      O(completions + topology changes), not O(pods x changes);
+    * **kernel throughput floors** -- the co-residency stress runs at least
+      2x faster than the per-pod-event kernel (``frontier_baseline.json``)
+      and at least 2x faster than the pre-refactor per-object engine
+      (``kernel_baseline.json``; the measured factors are recorded
+      verbatim, whatever they are).
     """
-    from repro.evaluation.contention import CONTENTION_SCENARIOS, build_scenario, run_scenario
+    from repro.evaluation.contention import (
+        CONTENTION_SCENARIOS,
+        build_scenario,
+        run_scenario,
+        scenario_fingerprint,
+    )
     from repro.evaluation.engine import run_scenario_replications
 
     bench_dir = Path(__file__).resolve().parent
     reference = json.loads((bench_dir / "kernel_parity_reference.json").read_text())
     baseline = json.loads((bench_dir / "kernel_baseline.json").read_text())
+    frontier_reference = json.loads(
+        (bench_dir / "frontier_parity_reference.json").read_text()
+    )
+    frontier_baseline = json.loads((bench_dir / "frontier_baseline.json").read_text())
 
     parity_drift: Dict[str, Dict] = {}
     for name in sorted(CONTENTION_SCENARIOS):
@@ -769,6 +819,15 @@ def run_kernel_bench(
             parity_drift[name] = drift
     parity_exact = not parity_drift
 
+    frontier_drift: Dict[str, List[str]] = {}
+    for name, per_placement in sorted(frontier_reference["scenarios"].items()):
+        for placement, pinned in per_placement.items():
+            observed = scenario_fingerprint(name, placement)
+            bad = [key for key in pinned if observed.get(key) != pinned[key]]
+            if bad:
+                frontier_drift[f"{name}/{placement}"] = bad
+    frontier_exact = not frontier_drift
+
     sweep_cfg = baseline["replication_sweep"]
     sweep_scenario = build_scenario(sweep_cfg["scenario"], seed=0)
     sweep_seconds = _time_best(
@@ -781,21 +840,33 @@ def run_kernel_bench(
     stresses: Dict[str, Dict] = {}
     for key in ("kernel_stress", "kernel_stress_512"):
         cfg = baseline[key]
+        pr6 = frontier_baseline[key]
         seconds = _time_best(
             lambda: _kernel_stress(
                 cfg["n_pods"], cfg["node"]["cpus"], cfg["node"]["memory_gb"]
             ),
             repeats,
         )
+        profile = _kernel_stress(
+            cfg["n_pods"], cfg["node"]["cpus"], cfg["node"]["memory_gb"], profile=True
+        )
+        # Every reschedule call is one topology change touching a node.
+        event_bound = 4 * cfg["n_pods"] + profile.reschedule_calls
         stresses[key] = {
             "n_pods": cfg["n_pods"],
             "node": dict(cfg["node"]),
             "seconds": seconds,
             "baseline_seconds": cfg["seconds"],
             "speedup_vs_pre_refactor": cfg["seconds"] / seconds,
+            "event_engine_seconds": pr6["seconds"],
+            "speedup_vs_event_engine": pr6["seconds"] / seconds,
+            "events_processed": int(profile.events_processed),
+            "events_processed_before_frontier": pr6["events_processed"],
+            "events_processed_bound": int(event_bound),
         }
 
-    # One profiled stress run: where the remaining kernel time goes.
+    # One profiled stress run: where the remaining kernel time goes and
+    # what the heap traffic looks like under the frontier protocol.
     profile = _kernel_stress(
         baseline["kernel_stress"]["n_pods"],
         baseline["kernel_stress"]["node"]["cpus"],
@@ -807,18 +878,28 @@ def run_kernel_bench(
         "benchmark": "array_kernel",
         "cpu_count": os.cpu_count(),
         "baseline_commit": baseline["captured_at_commit"],
+        "event_engine_commit": frontier_baseline["captured_at_commit"],
         "kernel_parity_exact": parity_exact,
         "kernel_parity_drift": parity_drift,
+        "frontier_parity_exact": frontier_exact,
+        "frontier_parity_drift": frontier_drift,
         "scenarios_pinned": len(reference),
+        "frontier_runs_pinned": sum(
+            len(v) for v in frontier_reference["scenarios"].values()
+        ),
         "replication_sweep": {
             "scenario": sweep_cfg["scenario"],
             "n_replications": sweep_cfg["n_replications"],
             "seconds": sweep_seconds,
             "baseline_seconds": sweep_cfg["seconds"],
             "speedup_vs_pre_refactor": sweep_cfg["seconds"] / sweep_seconds,
+            "event_engine_seconds": frontier_baseline["replication_sweep"]["seconds"],
+            "speedup_vs_event_engine": frontier_baseline["replication_sweep"]["seconds"]
+            / sweep_seconds,
         },
         "stress": stresses,
         "stress_profile": profile.as_dict() if profile else None,
+        "event_microbench": _event_microbench(),
     }
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=2) + "\n")
@@ -827,6 +908,12 @@ def run_kernel_bench(
             "array-kernel parity drift: the SoA kernel no longer reproduces "
             f"the pre-refactor scenario summaries exactly ({parity_drift})"
         )
+    if not frontier_exact:
+        raise AssertionError(
+            "event-frontier parity drift: the frontier engine no longer "
+            "reproduces the per-pod-event engine's results exactly "
+            f"({frontier_drift})"
+        )
     floor = 2.0
     for key, stress in stresses.items():
         if stress["speedup_vs_pre_refactor"] < floor:
@@ -834,6 +921,19 @@ def run_kernel_bench(
                 f"kernel throughput regression: {key} runs only "
                 f"{stress['speedup_vs_pre_refactor']:.2f}x faster than the "
                 f"pre-refactor engine (floor: {floor}x)"
+            )
+        if stress["speedup_vs_event_engine"] < floor:
+            raise AssertionError(
+                f"frontier throughput regression: {key} runs only "
+                f"{stress['speedup_vs_event_engine']:.2f}x faster than the "
+                f"per-pod-event kernel (floor: {floor}x)"
+            )
+        if stress["events_processed"] > stress["events_processed_bound"]:
+            raise AssertionError(
+                f"event-count regression: {key} processed "
+                f"{stress['events_processed']} events, above the frontier "
+                f"bound 4 x n_pods + topology_changes = "
+                f"{stress['events_processed_bound']}"
             )
     return report
 

@@ -1,0 +1,86 @@
+"""Capture the pre-frontier kernel timings (run at the PRE-frontier commit).
+
+``kernel_baseline.json`` holds the *pre-array-kernel* (per-object engine)
+stress timings; this file captures the *array-kernel-with-per-pod-events*
+timings -- the PR the event-frontier refactor must beat by >= 2x on the
+stress workloads.  Also records the event-machinery profile of the
+pre-frontier engine (events processed / pod reschedules) so the
+event-count regression gate has a documented "before".
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/capture_frontier_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "frontier_baseline.json"
+
+
+def _git_head() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=Path(__file__).resolve().parent.parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - git-less environments
+        return "unknown"
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    from bench_engine import _kernel_stress
+    from repro.evaluation.contention import build_scenario
+    from repro.evaluation.engine import run_scenario_replications
+
+    baseline = {"captured_at_commit": f"{_git_head()} (pre-frontier array kernel)"}
+
+    sweep_scenario = build_scenario("interference-heavy", seed=0)
+    baseline["replication_sweep"] = {
+        "scenario": "interference-heavy",
+        "n_replications": 8,
+        "seconds": _time_best(
+            lambda: run_scenario_replications(sweep_scenario, 8, n_workers=1)
+        ),
+    }
+
+    for key, n_pods, cpus, mem in (
+        ("kernel_stress", 256, 512, 2048),
+        ("kernel_stress_512", 512, 1024, 4096),
+    ):
+        seconds = _time_best(lambda: _kernel_stress(n_pods, cpus, mem))
+        profile = _kernel_stress(n_pods, cpus, mem, profile=True)
+        baseline[key] = {
+            "n_pods": n_pods,
+            "node": {"cpus": cpus, "memory_gb": mem},
+            "seconds": seconds,
+            "events_processed": int(profile.events_processed),
+            "pods_rescheduled": int(profile.pods_rescheduled),
+            "reschedule_calls": int(profile.reschedule_calls),
+        }
+
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

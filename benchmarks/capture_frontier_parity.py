@@ -1,0 +1,59 @@
+"""Capture the event-frontier parity reference (run at the PRE-frontier commit).
+
+The event-frontier refactor replaces per-pod tentative ``pod_finished``
+events with one ``node_next_finish`` event per node.  That is a pure
+event-machinery change: every registered scenario must reproduce its
+pre-refactor completion stream *bit for bit* under both the default
+FirstFit placement and the interference-aware LeastSlowdown placement
+(the policy that exercises rate changes hardest).
+
+Per scenario x placement the file stores the fingerprint of
+:func:`repro.evaluation.contention.scenario_fingerprint`: the full summary
+dict (every float verbatim), each tenant's order-sensitive hardware
+decision stream, the accounting row count and a SHA-256 digest of the
+rows' canonical JSON (every per-completion float, pinned without storing
+megabytes of rows).
+
+Like the other ``*_parity_reference.json`` captures: generate this file
+with the engine *before* the refactor and never regenerate it after --
+the whole point is that the post-refactor engine must match it.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/capture_frontier_parity.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REFERENCE_PATH = Path(__file__).resolve().parent / "frontier_parity_reference.json"
+
+PLACEMENTS = ("first-fit", "least-slowdown")
+
+
+def main() -> int:
+    from repro.evaluation.contention import CONTENTION_SCENARIOS, scenario_fingerprint
+
+    reference = {
+        "seed": 0,
+        "placements": list(PLACEMENTS),
+        "scenarios": {
+            name: {
+                placement: scenario_fingerprint(name, placement)
+                for placement in PLACEMENTS
+            }
+            for name in sorted(CONTENTION_SCENARIOS)
+        },
+    }
+    REFERENCE_PATH.write_text(json.dumps(reference, indent=2) + "\n")
+    print(
+        f"captured {len(reference['scenarios'])} scenarios x "
+        f"{len(PLACEMENTS)} placements -> {REFERENCE_PATH}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.autoscaler import AutoscalerState, AutoscalingNodePool, ScaleEvent
-from repro.cluster.events import EventQueue
+from repro.cluster.events import (
+    NODE_DRAIN_CHECK,
+    NODE_NEXT_FINISH,
+    NODE_PROVISIONED,
+    POD_SUBMITTED,
+    Event,
+    EventQueue,
+)
 from repro.cluster.interference import (
     InterferenceModel,
     NoInterference,
@@ -142,11 +149,15 @@ class ClusterSimulator:
     (drawn once at submission) and advances at the rate the interference
     model reports for its current co-residency.  Every topology change --
     pod start, finish, preemption, autoscale provision or drain -- lazily
-    re-integrates affected pods' progress at the old rate and reschedules
-    their *tentative* finish events at the new one (stale events are
-    invalidated by an epoch stamp).  A pod whose rate never changed keeps
-    its original event, so the default model reproduces the fixed-finish
-    engine's event stream exactly.
+    re-integrates affected pods' progress at the old rate and rewrites
+    their tentative finish times in the kernel's ``finish_at`` array at the
+    new one.  Completions are driven by a **per-node finish frontier**: each
+    node keeps exactly one live ``node_next_finish`` event at the minimum of
+    its residents' tentative finishes, re-pushed (with the superseded event
+    cancelled in O(1)) only when that minimum moves, so heap traffic is
+    O(completions + topology changes) instead of O(pods x topology
+    changes).  When the event fires, the argmin over residents names the
+    finishing pod.
     """
 
     def __init__(
@@ -187,8 +198,16 @@ class ClusterSimulator:
         # instead of being rebuilt from the allocation dicts on every
         # schedule pass.
         self._running: Dict[str, List[Pod]] = {n.name: [] for n in self.nodes}
+        # The finish frontier: node slot -> the node's single live
+        # ``node_next_finish`` event (absent when the node has no residents).
+        # Entries are popped when the event fires and cancelled + replaced
+        # when a topology change moves the node's earliest tentative finish.
+        self._frontier: Dict[int, Event] = {}
         self._context_cache: Optional[PlacementContext] = None
         self._profile: Optional[KernelProfile] = None
+        # Queue-counter values already folded into the profile (delta sync,
+        # so per-run profiles can be merged across simulators).
+        self._synced_events = (0, 0, 0)
         # Busy-time integrals per node ([cpu, memory, gpu] resource-seconds)
         # and each node's activation time, for lifetime-prorated utilisation.
         self._busy_seconds: Dict[str, List[float]] = {}
@@ -400,7 +419,7 @@ class ClusterSimulator:
         pod.work_seconds = workload.observed_runtime(features, config, self._rng)
         self._state.adopt_pod(pod)
         submit_time = self.now if at_time is None else float(at_time)
-        self._events.push(submit_time, "pod_submitted", pod_name=name)
+        self._events.push(submit_time, POD_SUBMITTED, pod_name=name)
         self._pods[name] = pod
         self._pod_workloads[name] = workload
         self.log.record("cluster", "pod_submitted", time=submit_time, pod=name, hardware=config.name)
@@ -457,39 +476,40 @@ class ClusterSimulator:
         )
 
     def _reschedule_node(self, node: Node) -> None:
-        """Re-integrate progress and reschedule tentative finishes on ``node``.
+        """Re-integrate progress and move the finish frontier on ``node``.
 
         Called on every topology change touching the node.  Each resident's
         rate is recomputed from the interference model; a pod whose rate is
-        unchanged keeps its scheduled finish event (progress integration is
+        unchanged keeps its tentative ``finish_at`` (progress integration is
         lazy -- the rate is piecewise constant between changes, so deferring
-        the integral to the next change is exact, and skipping the reschedule
-        keeps the event stream of :class:`NoInterference` runs identical to
-        the fixed-finish engine's).  Finish events are tagged with the pod's
-        attempt (stale after preemption) and a per-reschedule epoch (stale
-        after a rate change).
+        the integral to the next change is exact).  Changed pods get their
+        finish times rewritten in the kernel arrays; no per-pod events are
+        pushed.  The node's single ``node_next_finish`` event is then
+        re-pushed only if the frontier (min over residents) moved, with the
+        superseded event cancelled in O(1) -- so heap traffic per topology
+        change is O(1), not O(residents).
         """
         profile = self._profile
         started = KernelProfile.clock() if profile is not None else 0.0
         state = self._state
-        slot = node._slot if node._state is state else -1
-        if slot >= 0:
-            indices = state.residents[slot]
-            pods = [state.pods[i] for i in indices]
-        else:  # pragma: no cover - nodes are always adopted by the simulator
-            indices = None
-            pods = [self._pods[name] for name in node.allocations]
-        if not pods:
+        if node._state is not state:  # pragma: no cover - simulator adopts all nodes
+            raise RuntimeError(f"node {node.name!r} is not adopted by this simulator")
+        slot = node._slot
+        indices = state.residents[slot]
+        if not indices:
+            # No residents left: the node has no next finish.  The popped
+            # frontier event (if any) must be cancelled here, not left to
+            # fire against an empty node.
+            current = self._frontier.pop(slot, None)
+            if current is not None:
+                self._events.cancel(current)
             if profile is not None:
                 profile.reschedule_calls += 1
                 profile.reintegration_seconds += KernelProfile.clock() - started
             return
-        if indices is not None:
-            ia = np.asarray(indices, dtype=np.intp)
-            requests = (state.req_cpus[ia], state.req_mem[ia], state.req_gpus[ia])
-        else:  # pragma: no cover - nodes are always adopted by the simulator
-            ia = None
-            requests = None
+        pods = [state.pods[i] for i in indices]
+        ia = np.asarray(indices, dtype=np.intp)
+        requests = (state.req_cpus[ia], state.req_mem[ia], state.req_gpus[ia])
         if self._batched_interference:
             speeds = np.asarray(
                 self.interference.node_speeds(node, pods, requests), dtype=np.float64
@@ -514,19 +534,15 @@ class ClusterSimulator:
                 f"pod running alone (rate {speed!r}); solo pods must run at 1.0"
             )
         now = self.now
-        if ia is not None:
-            # Batched re-integration: one elementwise pass over the node's
-            # residents, arithmetically identical to the per-pod set_speed
-            # sequence (same operations in the same order per element).
-            current = state.speed[ia]
-            changed_mask = speeds != current  # NaN current -> True (unset rate)
-            if not changed_mask.any():
-                if profile is not None:
-                    profile.reschedule_calls += 1
-                    profile.reintegration_seconds += KernelProfile.clock() - started
-                return
+        # Batched re-integration: one elementwise pass over the node's
+        # residents, arithmetically identical to the per-pod set_speed
+        # sequence (same operations in the same order per element).
+        current_speeds = state.speed[ia]
+        changed_mask = speeds != current_speeds  # NaN current -> True (unset rate)
+        n_changed = 0
+        if changed_mask.any():
             ci = ia[changed_mask]
-            old_speeds = current[changed_mask]
+            old_speeds = current_speeds[changed_mask]
             had_rate = ~np.isnan(old_speeds)
             if had_rate.any():
                 hi = ci[had_rate]
@@ -537,46 +553,40 @@ class ClusterSimulator:
             state.updated_at[ci] = now
             state.speed[ci] = new_speeds
             remaining = np.maximum(state.work[ci] - state.progress[ci], 0.0) / new_speeds
-            push = self._events.push
-            flags = changed_mask.tolist()
-            changed_pods = [p for p, flag in zip(pods, flags) if flag]
-            n_changed = len(changed_pods)
-            for pod, speed, rem in zip(changed_pods, new_speeds.tolist(), remaining.tolist()):
-                pod.progress_log.append((now, speed))
-                metadata = pod.metadata
-                epoch = metadata.get("finish_epoch", 0) + 1
-                metadata["finish_epoch"] = epoch
-                metadata["pending_remaining"] = rem
-                # push(now + rem) is exactly push_in(rem): the queue clock
-                # has not advanced since ``now`` was read.
-                push(
-                    now + rem,
-                    "pod_finished",
-                    pod_name=pod.name,
-                    attempt=metadata.get("attempt", 0),
-                    epoch=epoch,
-                )
-        else:  # pragma: no cover - unadopted-node fallback (per-pod path)
-            n_changed = 0
-            for pod, speed in zip(pods, speeds.tolist()):
-                if pod.speed == speed:
-                    continue
-                n_changed += 1
-                pod.set_speed(now, speed)
-                remaining_wall = pod.remaining_wall_seconds()
-                pod.metadata["finish_epoch"] = pod.metadata.get("finish_epoch", 0) + 1
-                pod.metadata["pending_remaining"] = remaining_wall
-                self._events.push_in(
-                    remaining_wall,
-                    "pod_finished",
-                    pod_name=pod.name,
-                    attempt=pod.metadata.get("attempt", 0),
-                    epoch=pod.metadata["finish_epoch"],
-                )
+            # ``now + remaining`` is exactly what ``push_in(remaining)``
+            # scheduled in the per-pod-event engine: the clock has not
+            # advanced since ``now`` was read.  The wall remainder is kept
+            # alongside so completion can report the drawn runtime without
+            # a lossy ``finish - updated_at`` subtraction.
+            state.remaining[ci] = remaining
+            state.finish_at[ci] = now + remaining
+            for pod, flag, speed in zip(pods, changed_mask.tolist(), speeds.tolist()):
+                if flag:
+                    pod.progress_log.append((now, speed))
+                    n_changed += 1
+        self._update_frontier(slot, ia)
         if profile is not None:
             profile.reschedule_calls += 1
             profile.pods_rescheduled += n_changed
             profile.reintegration_seconds += KernelProfile.clock() - started
+
+    def _update_frontier(self, slot: int, ia: np.ndarray) -> None:
+        """Re-point the node's ``node_next_finish`` event at its frontier.
+
+        ``ia`` indexes the node's residents (non-empty).  If the minimum
+        tentative finish equals the outstanding event's time the event is
+        kept -- the argmin is recomputed at fire time, so it does not matter
+        *which* resident defines the frontier, only *when* it is.  Otherwise
+        the outstanding event is cancelled (O(1), handled never) and one
+        event is pushed at the new frontier.
+        """
+        t = float(self._state.finish_at[ia].min())
+        current = self._frontier.get(slot)
+        if current is not None:
+            if current.time == t:
+                return
+            self._events.cancel(current)
+        self._frontier[slot] = self._events.push_frontier(t, slot)
 
     def _preempt_victims(self, plan) -> List[Pod]:
         """Evict the plan's victims (checkpoint-free) and return them."""
@@ -586,7 +596,6 @@ class ClusterSimulator:
             victim = self._pods[name]
             node.release(name)
             self._running[node.name].remove(victim)
-            victim.metadata["attempt"] = victim.metadata.get("attempt", 0) + 1
             victim.mark_preempted(self.now)
             victims.append(victim)
             self.log.record(
@@ -733,7 +742,7 @@ class ClusterSimulator:
             name = state.next_name()
             state.in_flight += 1
             ready = self.now + pool.provision_delay_seconds
-            self._events.push(ready, "node_provisioned", node_name=name)
+            self._events.push(ready, NODE_PROVISIONED, node_name=name)
             state.events.append(ScaleEvent(self.now, "scale_up_requested", name))
             self.log.record(
                 "autoscaler", "scale_up_requested", time=self.now, node=name, ready_at=ready
@@ -767,7 +776,7 @@ class ClusterSimulator:
         if state.pool.scale_down_idle_seconds is not None:
             self._events.push(
                 time + state.pool.scale_down_idle_seconds,
-                "node_drain_check",
+                NODE_DRAIN_CHECK,
                 node_name=node_name,
                 idle_stamp=time,
             )
@@ -823,71 +832,85 @@ class ClusterSimulator:
             busy_since[name] = now
         self._busy_clock = now
 
+    def _handle_node_finish(self, event) -> None:
+        """Complete the finishing pod named by a fired frontier event.
+
+        The event carries only its node's kernel slot; the finishing pod is
+        the argmin of the residents' tentative finish times, recomputed at
+        fire time (ties resolve to the earliest resident in allocation
+        order, matching the per-pod-event engine's push order).  The queue
+        never surfaces superseded frontier events, so every event reaching
+        this handler is a genuine completion.
+        """
+        slot = event.node_slot
+        # The fired event is consumed; _reschedule_node pushes the node's
+        # next frontier below.
+        self._frontier.pop(slot, None)
+        state = self._state
+        indices = state.residents[slot]
+        index = indices[int(np.argmin(state.finish_at[np.asarray(indices, dtype=np.intp)]))]
+        pod = state.pods[index]
+        node = state.nodes[slot]
+        node.release(pod.name)
+        self._running[node.name].remove(pod)
+        pod.mark_finished(event.time, succeeded=True)
+        workload = self._pod_workloads.get(pod.name, self.workload)
+        # Close out progress with the *scheduled* wall remainder rather than
+        # finish - start: the subtraction loses low-order bits once the
+        # clock is large, and an uninterfered run must report the drawn
+        # runtime bit-for-bit (matching the synchronous path).
+        runtime = pod.complete_progress(float(state.remaining[index]))
+        record = RunRecord(
+            run_id=f"{workload.name}-run-{next(self._run_counter):06d}",
+            application=workload.name,
+            hardware=pod.request.name,
+            runtime_seconds=runtime,
+            features=dict(pod.features),
+        )
+        self._completed.append(
+            CompletedRun(
+                record=record,
+                queue_seconds=float(pod.queue_seconds or 0.0),
+                node=node.name,
+                pod_name=pod.name,
+                finish_time=float(event.time),
+                preemptions=pod.preemptions,
+                wasted_runtime_seconds=pod.wasted_runtime_seconds,
+                planned_runtime_seconds=pod.work_seconds,
+            )
+        )
+        self.log.record(
+            "cluster",
+            "pod_finished",
+            time=event.time,
+            pod=pod.name,
+            runtime=runtime,
+        )
+        # The departure freed capacity: surviving residents speed up
+        # before the pending queue competes for the room.
+        self._reschedule_node(node)
+        if not node.allocations:
+            self._mark_node_idle(node.name, float(event.time))
+        self._try_schedule_pending()
+
     def _handle_event(self, event) -> None:
         if self._profile is not None:
             self._profile.events_processed += 1
         self._integrate_busy()
-        # ``pod_finished`` first: tentative finishes vastly outnumber every
-        # other kind (each rate change re-schedules one per changed pod),
-        # and most of them arrive stale.
-        if event.kind == "pod_finished":
-            payload = event.payload
-            pod = self._pods[payload["pod_name"]]
-            metadata = pod.metadata
-            if payload.get("attempt", 0) != metadata.get("attempt", 0):
-                return  # stale completion: the pod was preempted mid-run
-            if payload.get("epoch", 0) != metadata.get("finish_epoch", 0):
-                return  # superseded tentative finish: the pod's rate changed
-            node = next(n for n in self.nodes if n.name == pod.node)
-            node.release(pod.name)
-            self._running[node.name].remove(pod)
-            pod.mark_finished(event.time, succeeded=True)
-            workload = self._pod_workloads.get(pod.name, self.workload)
-            # Close out progress with the *scheduled* remainder rather than
-            # finish - start: the subtraction loses low-order bits once the
-            # clock is large, and an uninterfered run must report the drawn
-            # runtime bit-for-bit (matching the synchronous path).
-            runtime = pod.complete_progress(pod.metadata.get("pending_remaining", 0.0))
-            record = RunRecord(
-                run_id=f"{workload.name}-run-{next(self._run_counter):06d}",
-                application=workload.name,
-                hardware=pod.request.name,
-                runtime_seconds=runtime,
-                features=dict(pod.features),
-            )
-            self._completed.append(
-                CompletedRun(
-                    record=record,
-                    queue_seconds=float(pod.queue_seconds or 0.0),
-                    node=pod.node or "",
-                    pod_name=pod.name,
-                    finish_time=float(event.time),
-                    preemptions=pod.preemptions,
-                    wasted_runtime_seconds=pod.wasted_runtime_seconds,
-                    planned_runtime_seconds=pod.work_seconds,
-                )
-            )
-            self.log.record(
-                "cluster",
-                "pod_finished",
-                time=event.time,
-                pod=pod.name,
-                runtime=runtime,
-            )
-            # The departure freed capacity: surviving residents speed up
-            # before the pending queue competes for the room.
-            self._reschedule_node(node)
-            if not node.allocations:
-                self._mark_node_idle(node.name, float(event.time))
-            self._try_schedule_pending()
-        elif event.kind == "pod_submitted":
+        kind = event.kind
+        # ``node_next_finish`` first: under the frontier protocol it is the
+        # most frequent kind (one completion per firing), and the kinds are
+        # interned so each comparison is a pointer check.
+        if kind == NODE_NEXT_FINISH:
+            self._handle_node_finish(event)
+        elif kind == POD_SUBMITTED:
             pod = self._pods[event.payload["pod_name"]]
             pod.mark_submitted(event.time)
             self._pending.append(pod)
             self._try_schedule_pending()
-        elif event.kind == "node_provisioned":
+        elif kind == NODE_PROVISIONED:
             self._handle_node_provisioned(event)
-        elif event.kind == "node_drain_check":
+        elif kind == NODE_DRAIN_CHECK:
             self._handle_node_drain_check(event)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown event kind {event.kind!r}")
@@ -896,12 +919,19 @@ class ClusterSimulator:
         """Process events until no pods remain pending or running.
 
         Returns the runs completed during this call (in completion order).
+        ``max_events`` budgets *handled* events only: superseded (cancelled)
+        frontier entries are discarded by the queue without being counted,
+        so a long interference-heavy run cannot spuriously exhaust the
+        budget on stale heap backlog.  Skipped-entry totals are reported
+        separately via :attr:`event_stats` and the kernel profile's
+        ``events_skipped``.
         """
         before = len(self._completed)
         processed = 0
         while self._events and processed < max_events:
             self._handle_event(self._events.pop())
             processed += 1
+        self._sync_profile_events()
         if self._events:
             raise RuntimeError(f"event budget of {max_events} exhausted with events remaining")
         if self._pending:
@@ -931,16 +961,46 @@ class ClusterSimulator:
         """
         before = len(self._completed)
         self._events.drain(self._handle_event, until=float(time))
+        self._sync_profile_events()
         return self._completed[before:]
 
     def peek_next_event_time(self) -> Optional[float]:
-        """Time of the next scheduled event, or ``None`` when the engine is idle."""
+        """Time of the next *live* event, or ``None`` when the engine is idle.
+
+        Frontier-aware: a cancelled (superseded) ``node_next_finish`` entry
+        is never surfaced, so callers interleaving external arrivals --
+        :class:`~repro.evaluation.engine.ExperimentEngine` -- only wake at
+        timestamps where the simulator will actually do work.
+        """
         return self._events.peek_time()
 
     @property
     def has_work(self) -> bool:
-        """Whether any events remain to process (pods submitted, running or queued)."""
+        """Whether any live events remain (pods submitted, running or queued)."""
         return bool(self._events)
+
+    @property
+    def event_stats(self) -> Dict[str, int]:
+        """Heap-traffic counters of the event engine.
+
+        ``pushed`` events ever scheduled, ``popped`` events handled,
+        ``skipped`` cancelled (superseded-frontier) entries discarded, and
+        ``pending`` live events still queued.
+        """
+        q = self._events
+        return {"pushed": q.pushed, "popped": q.popped, "skipped": q.skipped, "pending": len(q)}
+
+    def _sync_profile_events(self) -> None:
+        """Fold queue counter deltas into the kernel profile (if enabled)."""
+        profile = self._profile
+        if profile is None:
+            return
+        q = self._events
+        synced = self._synced_events
+        profile.events_pushed += q.pushed - synced[0]
+        profile.events_popped += q.popped - synced[1]
+        profile.events_skipped += q.skipped - synced[2]
+        self._synced_events = (q.pushed, q.popped, q.skipped)
 
     # ------------------------------------------------------------------ #
     # Autoscaler introspection

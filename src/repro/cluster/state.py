@@ -94,6 +94,14 @@ class KernelProfile:
     pods_rescheduled: int = 0
     schedule_passes: int = 0
     placement_calls: int = 0
+    #: Heap traffic, mirrored from :class:`~repro.cluster.events.EventQueue`:
+    #: total events scheduled, live events handled, and cancelled (superseded
+    #: frontier) entries discarded without handling.  Under the per-node
+    #: frontier protocol ``events_pushed`` stays O(completions +
+    #: topology-changes) instead of O(pods x topology-changes).
+    events_pushed: int = 0
+    events_popped: int = 0
+    events_skipped: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -105,6 +113,9 @@ class KernelProfile:
             "pods_rescheduled": float(self.pods_rescheduled),
             "schedule_passes": float(self.schedule_passes),
             "placement_calls": float(self.placement_calls),
+            "events_pushed": float(self.events_pushed),
+            "events_popped": float(self.events_popped),
+            "events_skipped": float(self.events_skipped),
         }
 
     def merge(self, other: "KernelProfile") -> None:
@@ -117,6 +128,9 @@ class KernelProfile:
         self.pods_rescheduled += other.pods_rescheduled
         self.schedule_passes += other.schedule_passes
         self.placement_calls += other.placement_calls
+        self.events_pushed += other.events_pushed
+        self.events_popped += other.events_popped
+        self.events_skipped += other.events_skipped
 
     @staticmethod
     def clock() -> float:
@@ -142,6 +156,18 @@ class ClusterState:
     ``req_cpus`` / ``req_mem`` / ``req_gpus``
         The pod's resource request, pre-extracted for batched interference
         and placement math.
+    ``finish_at``
+        Tentative finish time at the current rate (NaN until first
+        computed).  The per-node minimum over residents is the node's
+        *finish frontier* -- the simulator schedules exactly one
+        ``node_next_finish`` event at that time and takes the argmin again
+        when it fires.
+    ``remaining``
+        Wall seconds from the last re-integration point to the tentative
+        finish.  Kept alongside ``finish_at`` (rather than recomputed as
+        ``finish_at - now``) so an uninterfered run reports its drawn
+        runtime bit-for-bit: the subtraction loses low-order bits once the
+        clock is large.
     ``status``
         Lifecycle phase code (see ``STATUS_*``).
     ``node_slot``
@@ -175,6 +201,8 @@ class ClusterState:
         self.req_gpus = np.zeros(n, dtype=np.int64)
         self.status = np.zeros(n, dtype=np.int8)
         self.node_slot = np.full(n, -1, dtype=np.int32)
+        self.finish_at = np.full(n, np.nan)
+        self.remaining = np.zeros(n)
         self.pods: List["Pod"] = []
         self.pod_index: Dict[str, int] = {}
 
@@ -212,6 +240,8 @@ class ClusterState:
         self.req_gpus = grow_f(self.req_gpus, 0)
         self.status = grow_f(self.status, 0)
         self.node_slot = grow_f(self.node_slot, -1)
+        self.finish_at = grow_f(self.finish_at, np.nan)
+        self.remaining = grow_f(self.remaining, 0.0)
 
     def adopt_pod(self, pod: "Pod") -> int:
         """Bind ``pod`` to this store, copying its current hot state in."""
@@ -236,6 +266,8 @@ class ClusterState:
         self.node_slot[index] = (
             self.node_slot_by_name.get(pod.node, -1) if pod.node else -1
         )
+        self.finish_at[index] = np.nan
+        self.remaining[index] = 0.0
         self.pods.append(pod)
         self.pod_index[pod.name] = index
         self.n_pods = index + 1
@@ -330,7 +362,8 @@ class ClusterState:
         arrays = (
             self.work, self.progress, self.speed, self.updated_at,
             self.running_wall, self.req_cpus, self.req_mem, self.req_gpus,
-            self.status, self.node_slot, self.cap_cpus, self.cap_mem,
+            self.status, self.node_slot, self.finish_at, self.remaining,
+            self.cap_cpus, self.cap_mem,
             self.cap_gpus, self.alloc_cpus, self.alloc_mem, self.alloc_gpus,
             self.node_alive,
         )

@@ -540,6 +540,11 @@ class ExperimentEngine:
         # Event loop: interleave external arrivals with the cluster's own
         # events in global time order.  Cluster events win ties so an arrival
         # at time t sees every completion whose event fires at t.
+        # ``peek_next_event_time`` is frontier-aware: it reports the next
+        # *live* event, never a superseded (cancelled) node frontier, so the
+        # engine steps once per genuine cluster instant instead of waking at
+        # timestamps where the simulator would discard a stale entry and do
+        # nothing.
         while arrivals or cluster.has_work:
             next_arrival = arrivals[0][0] if arrivals else None
             next_event = cluster.peek_next_event_time()

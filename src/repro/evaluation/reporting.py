@@ -57,6 +57,11 @@ def format_kernel_profile(profile: Mapping[str, float]) -> str:
         f"{int(profile.get('placement_calls', 0))} decisions"
     )
     lines.append(f"  events processed {int(profile.get('events_processed', 0))}")
+    lines.append(
+        f"  event heap      {int(profile.get('events_pushed', 0))} pushed / "
+        f"{int(profile.get('events_popped', 0))} handled / "
+        f"{int(profile.get('events_skipped', 0))} superseded (cancelled frontier)"
+    )
     return "\n".join(lines)
 
 

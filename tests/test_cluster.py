@@ -126,6 +126,83 @@ class TestEventQueue:
         assert q.drain(lambda e: None) == 2
         assert not q
 
+    def test_cancel_hides_event_from_pop(self):
+        q = EventQueue()
+        stale = q.push(1.0, "stale")
+        q.push(2.0, "live")
+        q.cancel(stale)
+        assert q.pop().kind == "live"
+        assert q.now == 2.0  # the clock never visited the cancelled time
+
+    def test_cancel_updates_len_and_bool(self):
+        q = EventQueue()
+        event = q.push(1.0, "x")
+        assert len(q) == 1 and q
+        q.cancel(event)
+        assert len(q) == 0 and not q
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, "x")
+        other = q.push(2.0, "y")
+        q.cancel(event)
+        q.cancel(event)
+        assert len(q) == 1
+        assert q.pop() is other
+
+    def test_peek_time_skips_cancelled_head(self):
+        q = EventQueue()
+        stale = q.push(1.0, "stale")
+        q.push(3.0, "live")
+        q.cancel(stale)
+        assert q.peek_time() == 3.0
+
+    def test_peek_time_empty_after_cancelling_everything(self):
+        q = EventQueue()
+        q.cancel(q.push(1.0, "x"))
+        assert q.peek_time() is None
+
+    def test_drain_does_not_count_cancelled_events(self):
+        q = EventQueue()
+        q.cancel(q.push(1.0, "stale"))
+        q.push(2.0, "live")
+        seen = []
+        assert q.drain(lambda e: seen.append(e.kind)) == 1
+        assert seen == ["live"]
+
+    def test_pop_after_cancelling_everything_raises(self):
+        q = EventQueue()
+        q.cancel(q.push(1.0, "x"))
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_traffic_counters(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.cancel(q.push(2.0, "b"))
+        q.push(3.0, "c")
+        q.drain(lambda e: None)
+        assert (q.pushed, q.popped, q.skipped) == (3, 2, 1)
+        assert q.pushed == q.popped + q.skipped + len(q)
+
+    def test_push_frontier_event_shape(self):
+        from repro.cluster.events import NODE_NEXT_FINISH
+
+        q = EventQueue()
+        event = q.push_frontier(4.0, 7)
+        assert event.kind is NODE_NEXT_FINISH
+        assert event.node_slot == 7
+        assert event.payload is None  # the hot path allocates no dict
+        assert event.alive
+        assert q.pop() is event
+
+    def test_push_frontier_rejects_past_times(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push_frontier(1.0, 0)
+
 
 class TestNode:
     def test_allocation_reduces_free_capacity(self, request_small):

@@ -1,0 +1,230 @@
+"""Event-frontier engine: parity pins, event-budget accounting, invariants.
+
+The per-node finish frontier (one live ``node_next_finish`` event per node,
+superseded events cancelled in O(1)) replaces the per-pod tentative-event
+scheme.  These tests pin that the change is pure event machinery:
+
+* every registered scenario x {FirstFit, LeastSlowdown} reproduces its
+  pre-frontier fingerprint (summary floats, decision streams, accounting-row
+  digest) **bit for bit** against ``benchmarks/frontier_parity_reference.json``;
+* ``run_until_idle(max_events=...)`` budgets *handled* events only --
+  superseded entries are skipped without charge (the pre-frontier engine
+  burned most of the budget on stale pops);
+* ``peek_next_event_time`` never surfaces a superseded finish time, and the
+  experiment engine steps only at instants where events are actually handled;
+* the frontier event always sits at the brute-force minimum of the node's
+  residents' tentative finishes -- audited at every event boundary under
+  preemption, autoscale provision/drain, and same-timestamp arrival batches.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, Node
+from repro.cluster.interference import LinearSlowdown
+from repro.evaluation.contention import (
+    CONTENTION_SCENARIOS,
+    build_scenario,
+    run_scenario,
+    scenario_fingerprint,
+)
+from repro.hardware import HardwareCatalog, HardwareConfig
+from repro.workloads import LinearRuntimeWorkload
+
+REFERENCE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "frontier_parity_reference.json"
+)
+REFERENCE = json.loads(REFERENCE_PATH.read_text())
+
+
+def _contended_sim(node_cpus: int = 64, node_memory_gb: float = 256.0, **kwargs):
+    """A one-fat-node simulator where every pod interferes with every other."""
+    catalog = HardwareCatalog([HardwareConfig("s", cpus=2, memory_gb=8)])
+    workload = LinearRuntimeWorkload(
+        feature_ranges={"size": (1.0, 8.0)},
+        coefficients={"s": ({"size": 100.0}, 0.0)},
+        noise_sigma=0.0,
+        name="stress",
+    )
+    return ClusterSimulator(
+        nodes=[Node("fat", cpus=node_cpus, memory_gb=node_memory_gb)],
+        catalog=catalog,
+        workload=workload,
+        seed=0,
+        interference=LinearSlowdown(alpha=0.5),
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Bit-identical parity vs the pre-frontier engine
+# --------------------------------------------------------------------- #
+class TestFrontierParity:
+    """Every scenario x placement must match its pre-frontier fingerprint."""
+
+    @pytest.mark.parametrize("placement", REFERENCE["placements"])
+    @pytest.mark.parametrize("name", sorted(REFERENCE["scenarios"]))
+    def test_fingerprint_bit_identical(self, name, placement):
+        pinned = REFERENCE["scenarios"][name][placement]
+        observed = scenario_fingerprint(name, placement, seed=REFERENCE["seed"])
+        assert observed["summary"] == pinned["summary"]
+        assert observed["decisions"] == pinned["decisions"]
+        assert observed["n_rows"] == pinned["n_rows"]
+        assert observed["rows_sha256"] == pinned["rows_sha256"]
+
+    def test_reference_covers_every_registered_scenario(self):
+        assert sorted(REFERENCE["scenarios"]) == sorted(CONTENTION_SCENARIOS)
+
+
+# --------------------------------------------------------------------- #
+# Event-budget accounting (superseded events are free)
+# --------------------------------------------------------------------- #
+class TestEventBudget:
+    def test_superseded_events_do_not_charge_the_budget(self):
+        """A contended run completes within a budget of handled events only.
+
+        40 co-resident pods under LinearSlowdown reschedule every resident on
+        every arrival and finish; the pre-frontier engine pushed (and later
+        popped) one tentative event per resident per change, burning well
+        over half of a tight budget on stale pops.  The frontier engine
+        handles exactly one submission and one completion per pod.
+        """
+        n_pods = 40
+        sim = _contended_sim()
+        for i in range(n_pods):
+            sim.submit({"size": 1.0 + (i % 7)}, "s", at_time=float(i))
+        runs = sim.run_until_idle()
+        assert len(runs) == n_pods
+
+        stats = sim.event_stats
+        assert stats["popped"] == 2 * n_pods  # one submit + one finish each
+        assert stats["pending"] == 0
+        # Frontier churn happened -- and none of it was handled.
+        assert stats["skipped"] > 0
+        assert stats["pushed"] == stats["popped"] + stats["skipped"]
+
+        # Regression: the exact handled count is a sufficient budget.  The
+        # per-pod-event engine processed ~n^2 events on this workload and
+        # raised RuntimeError long before completing under this budget.
+        replay = _contended_sim()
+        for i in range(n_pods):
+            replay.submit({"size": 1.0 + (i % 7)}, "s", at_time=float(i))
+        assert len(replay.run_until_idle(max_events=2 * n_pods)) == n_pods
+
+    def test_profile_mirrors_queue_counters(self):
+        sim = _contended_sim()
+        profile = sim.enable_profiling()
+        for i in range(10):
+            sim.submit({"size": 2.0}, "s", at_time=float(i))
+        sim.run_until_idle()
+        stats = sim.event_stats
+        assert profile.events_pushed == stats["pushed"]
+        assert profile.events_popped == stats["popped"]
+        assert profile.events_skipped == stats["skipped"]
+        assert profile.events_processed == profile.events_popped
+
+
+# --------------------------------------------------------------------- #
+# Frontier-aware peek
+# --------------------------------------------------------------------- #
+class TestPeekNextEventTime:
+    def test_peek_never_returns_a_superseded_finish_time(self):
+        """A newly contended pod's stale solo finish must not be peeked.
+
+        Pod A runs alone (finish at t=100).  Pod B arrives at t=10; both
+        slow to 0.8x (``u = max(2/4, 8/16) = 0.5``), moving A's finish to
+        ``10 + 90/0.8 = 122.5``.  The pre-frontier engine kept A's t=100
+        event in the heap and ``peek_next_event_time`` reported it, waking
+        the experiment engine at a timestamp where nothing happens.
+        """
+        sim = _contended_sim(node_cpus=4, node_memory_gb=16.0)
+        sim.submit({"size": 1.0}, "s", at_time=0.0)
+        sim.submit({"size": 1.0}, "s", at_time=10.0)
+        sim.run_until(10.0)
+        assert sim.peek_next_event_time() == 122.5
+        runs = sim.run_until_idle()
+        assert runs[0].finish_time == 122.5
+
+    def test_engine_steps_only_where_events_are_handled(self, monkeypatch):
+        """Every engine drain handles >= 1 event: no wakeups at stale times."""
+        drains = []
+        original = ClusterSimulator.run_until
+
+        def counted(self, time):
+            before = self.event_stats["popped"]
+            runs = original(self, time)
+            drains.append(self.event_stats["popped"] - before)
+            return runs
+
+        monkeypatch.setattr(ClusterSimulator, "run_until", counted)
+        result = run_scenario(build_scenario("interference-heavy", seed=0))
+        assert result.rows  # the scenario actually ran
+        assert drains and all(handled >= 1 for handled in drains)
+        # Steps are bounded by handled events: the engine wakes at most once
+        # per live event instant, never for superseded heap backlog.
+        assert len(drains) <= sum(drains)
+
+
+# --------------------------------------------------------------------- #
+# Frontier == brute force, audited at every event boundary
+# --------------------------------------------------------------------- #
+def _audit_frontiers(sim: ClusterSimulator) -> int:
+    """Assert each node's frontier event sits at the brute-force minimum."""
+    state = sim.state
+    audited = 0
+    for slot in range(state.n_nodes):
+        residents = state.residents[slot]
+        event = sim._frontier.get(slot)
+        if not residents:
+            assert event is None, f"slot {slot} has a frontier but no residents"
+            continue
+        finishes = state.finish_at[np.asarray(residents, dtype=np.intp)]
+        assert not np.isnan(finishes).any(), f"slot {slot} has unscheduled residents"
+        assert event is not None, f"slot {slot} has residents but no frontier"
+        assert event.alive, f"slot {slot} holds a cancelled frontier event"
+        assert event.time == float(finishes.min())
+        audited += 1
+    return audited
+
+
+@pytest.fixture
+def frontier_audit(monkeypatch):
+    """Audit every simulator's frontier invariant before each handled event."""
+    counts = {"audits": 0}
+    original = ClusterSimulator._handle_event
+
+    def audited(self, event):
+        counts["audits"] += _audit_frontiers(self)
+        original(self, event)
+
+    monkeypatch.setattr(ClusterSimulator, "_handle_event", audited)
+    return counts
+
+
+class TestFrontierMatchesBruteForce:
+    def test_under_preemption(self, frontier_audit):
+        """priority-tiers: preemptions evict residents mid-run."""
+        result = run_scenario(build_scenario("priority-tiers", seed=0))
+        assert result.rows
+        assert frontier_audit["audits"] > 0
+
+    def test_under_autoscale_provision_and_drain(self, frontier_audit):
+        """autoscale-burst: nodes join mid-run and drain when idle."""
+        result = run_scenario(build_scenario("autoscale-burst", seed=0))
+        assert result.scale_events  # provisioning actually happened
+        assert frontier_audit["audits"] > 0
+
+    def test_under_same_timestamp_topology_changes(self, frontier_audit):
+        """A batch of simultaneous arrivals moves one node's frontier
+        repeatedly within a single timestamp."""
+        sim = _contended_sim()
+        for i in range(12):
+            sim.submit({"size": 1.0 + (i % 3)}, "s", at_time=5.0)
+        runs = sim.run_until_idle()
+        assert len(runs) == 12
+        assert frontier_audit["audits"] > 0
